@@ -1,0 +1,76 @@
+//! The no-hiding baseline: run every instance back to back on one core,
+//! eating every stall. This is the denominator of every speedup the paper
+//! implies.
+
+use reach_sim::{Context, ExecError, Exit, Machine, Program};
+
+/// Result of a sequential run.
+#[derive(Clone, Debug, Default)]
+pub struct SequentialReport {
+    /// Total cycles for all instances.
+    pub cycles: u64,
+    /// Per-instance wall-clock latency.
+    pub latencies: Vec<u64>,
+    /// Instances completed.
+    pub completed: usize,
+}
+
+/// Runs `contexts` one after another to completion (yields self-resume at
+/// zero cost — there is nothing to hide behind).
+///
+/// # Errors
+///
+/// Propagates execution errors; an instance exceeding `max_steps` counts
+/// as not completed.
+pub fn run_sequential(
+    machine: &mut Machine,
+    prog: &Program,
+    contexts: &mut [Context],
+    max_steps: u64,
+) -> Result<SequentialReport, ExecError> {
+    let started_at = machine.now;
+    let mut report = SequentialReport::default();
+    for ctx in contexts.iter_mut() {
+        let exit = machine.run_to_completion(prog, ctx, max_steps)?;
+        if exit == Exit::Done {
+            report.completed += 1;
+            report
+                .latencies
+                .push(ctx.stats.latency().expect("finished context has latency"));
+        }
+    }
+    report.cycles = machine.now - started_at;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_sim::MachineConfig;
+    use reach_workloads::{build_scan, AddrAlloc, ScanParams};
+
+    #[test]
+    fn sequential_runs_all_and_sums_latencies() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut alloc = AddrAlloc::new(0x40_0000);
+        let w = build_scan(
+            &mut m.mem,
+            &mut alloc,
+            ScanParams {
+                words: 512,
+                passes: 1,
+                seed: 1,
+            },
+            3,
+        );
+        let mut ctxs = w.make_contexts();
+        let r = run_sequential(&mut m, &w.prog, &mut ctxs, 1_000_000).unwrap();
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.latencies.len(), 3);
+        for (i, c) in ctxs.iter().enumerate() {
+            w.instances[i].assert_checksum(c);
+        }
+        // Back-to-back: total == sum of latencies.
+        assert_eq!(r.cycles, r.latencies.iter().sum::<u64>());
+    }
+}

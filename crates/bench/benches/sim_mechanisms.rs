@@ -1,0 +1,96 @@
+//! Criterion benches over the simulator: wall-clock throughput of the
+//! mechanisms and of the instrumentation pipeline itself.
+//!
+//! These complement the `exp_*` harnesses (which report *simulated*
+//! cycles): here Criterion measures how fast the simulator + passes run on
+//! the host, guarding against regressions in the substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reach_core::{pgo_pipeline, run_interleaved, InterleaveOptions, PipelineOptions};
+use reach_sim::{run_smt, Machine, MachineConfig};
+use reach_workloads::{build_chase, AddrAlloc, ChaseParams};
+use std::hint::black_box;
+
+fn params() -> ChaseParams {
+    ChaseParams {
+        nodes: 512,
+        hops: 512,
+        node_stride: 4096,
+        work_per_hop: 20,
+        work_insts: 1,
+        seed: 0xbe7c,
+    }
+}
+
+fn bench_sequential_sim(c: &mut Criterion) {
+    c.bench_function("sim/sequential_chase", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            let mut alloc = AddrAlloc::new(0x10_0000);
+            let w = build_chase(&mut m.mem, &mut alloc, params(), 1);
+            let ctx = w.run_solo(&mut m, 0, 1 << 22);
+            black_box(ctx.regs[7])
+        })
+    });
+}
+
+fn bench_smt_sim(c: &mut Criterion) {
+    c.bench_function("sim/smt8_chase", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            let mut alloc = AddrAlloc::new(0x10_0000);
+            let w = build_chase(&mut m.mem, &mut alloc, params(), 8);
+            let mut ctxs: Vec<_> = (0..8).map(|i| w.instances[i].make_context(i)).collect();
+            black_box(run_smt(&mut m, &w.prog, &mut ctxs, 1 << 22).unwrap().cycles)
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("sim/pgo_pipeline_chase", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            let mut alloc = AddrAlloc::new(0x10_0000);
+            let w = build_chase(&mut m.mem, &mut alloc, params(), 1);
+            let mut prof = vec![w.instances[0].make_context(0)];
+            let built =
+                pgo_pipeline(&mut m, &w.prog, &mut prof, &PipelineOptions::default()).unwrap();
+            black_box(built.prog.len())
+        })
+    });
+}
+
+fn bench_interleaved_sim(c: &mut Criterion) {
+    // Instrument once outside the timed loop.
+    let mut m = Machine::new(MachineConfig::default());
+    let mut alloc = AddrAlloc::new(0x10_0000);
+    let w = build_chase(&mut m.mem, &mut alloc, params(), 1);
+    let mut prof = vec![w.instances[0].make_context(0)];
+    let built = pgo_pipeline(&mut m, &w.prog, &mut prof, &PipelineOptions::default()).unwrap();
+
+    c.bench_function("sim/interleave16_chase", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            let mut alloc = AddrAlloc::new(0x10_0000);
+            let w = build_chase(&mut m.mem, &mut alloc, params(), 16);
+            let mut ctxs: Vec<_> = (0..16).map(|i| w.instances[i].make_context(i)).collect();
+            black_box(
+                run_interleaved(
+                    &mut m,
+                    &built.prog,
+                    &mut ctxs,
+                    &InterleaveOptions::default(),
+                )
+                .unwrap()
+                .cycles,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sequential_sim, bench_smt_sim, bench_pipeline, bench_interleaved_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Host-hardware companion to experiment T3: what do suspend/resume and
+//! thread hand-off actually cost on *this* machine?
+//!
+//! * `coro_resume` — one resume of a stackless coroutine (the class of
+//!   switch the paper's <10 ns claim is about; a resume is an indirect
+//!   call plus a state transition).
+//! * `coro_pingpong` — two coroutines alternating, i.e. a full
+//!   switch-out/switch-in round trip.
+//! * `thread_pingpong` — two OS threads handing a token back and forth
+//!   over a channel: the per-hand-off cost the paper cites as hundreds of
+//!   ns to µs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reach_coro::{Coro, CoroState};
+use std::hint::black_box;
+
+/// A coroutine that yields forever, counting resumes.
+struct Spinner {
+    n: u64,
+}
+
+impl Coro for Spinner {
+    #[inline]
+    fn resume(&mut self) -> CoroState {
+        self.n = self.n.wrapping_add(1);
+        CoroState::Yielded
+    }
+}
+
+fn bench_coro_resume(c: &mut Criterion) {
+    let mut s = Spinner { n: 0 };
+    c.bench_function("coro_resume", |b| {
+        b.iter(|| {
+            black_box(s.resume());
+        })
+    });
+    black_box(s.n);
+}
+
+fn bench_coro_pingpong(c: &mut Criterion) {
+    let mut a = Spinner { n: 0 };
+    let mut bb = Spinner { n: 0 };
+    c.bench_function("coro_pingpong", |b| {
+        b.iter(|| {
+            black_box(a.resume());
+            black_box(bb.resume());
+        })
+    });
+}
+
+fn bench_thread_pingpong(c: &mut Criterion) {
+    use std::sync::mpsc;
+    // One long-lived partner thread; each iteration is a send+recv round
+    // trip (two OS-level hand-offs).
+    let (to_worker, from_main) = mpsc::channel::<u64>();
+    let (to_main, from_worker) = mpsc::channel::<u64>();
+    let worker = std::thread::spawn(move || {
+        while let Ok(v) = from_main.recv() {
+            if v == u64::MAX {
+                break;
+            }
+            let _ = to_main.send(v + 1);
+        }
+    });
+    c.bench_function("thread_pingpong", |b| {
+        b.iter(|| {
+            to_worker.send(1).expect("worker alive");
+            black_box(from_worker.recv().expect("worker alive"));
+        })
+    });
+    let _ = to_worker.send(u64::MAX);
+    let _ = worker.join();
+}
+
+criterion_group!(
+    benches,
+    bench_coro_resume,
+    bench_coro_pingpong,
+    bench_thread_pingpong
+);
+criterion_main!(benches);

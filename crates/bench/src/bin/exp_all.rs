@@ -1,0 +1,53 @@
+//! Convenience runner: executes every `exp_*` harness in order and
+//! streams their output — one command to regenerate every table in
+//! EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --bin exp_all
+//! ```
+
+use std::process::Command;
+
+/// The experiments, in EXPERIMENTS.md order.
+pub const EXPERIMENTS: &[&str] = &[
+    "exp_f1_spectrum",
+    "exp_t2_stall_fraction",
+    "exp_t3_switch_cost",
+    "exp_t4_concurrency",
+    "exp_t5_latency",
+    "exp_f6_manual_vs_pgo",
+    "exp_t7_policy",
+    "exp_t8_ablation",
+    "exp_f9_interyield",
+    "exp_f10_dualmode",
+    "exp_t11_sampling",
+    "exp_t12_whatif",
+    "exp_t13_scheduler",
+    "exp_t14_hw_prefetcher",
+    "exp_t15_profiling_methods",
+    "exp_t16_sfi",
+    "exp_t17_drift",
+];
+
+fn main() {
+    // Sibling binaries live next to this one.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("──────────────────────────────────────────────────── {exp}");
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("could not launch {exp}: {e} (build all bins first)"));
+        if !status.success() {
+            failures.push(*exp);
+        }
+        println!();
+    }
+    if failures.is_empty() {
+        println!("all {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        eprintln!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

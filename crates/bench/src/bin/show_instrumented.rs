@@ -1,0 +1,110 @@
+//! Developer tool: run the PGO pipeline on a named workload and print the
+//! annotated before/after disassembly — the "objdump" view of what the
+//! instrumenter did and why.
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --bin show_instrumented [chase|multi|hash|zipf|tiered]
+//! ```
+
+use reach_bench::{fresh, pgo_build};
+use reach_core::PipelineOptions;
+use reach_sim::MachineConfig;
+use reach_workloads::{
+    build_chase, build_hash, build_multi_chase, build_tiered, build_zipf_kv, ChaseParams,
+    HashParams, MultiChaseParams, TieredParams, ZipfKvParams,
+};
+
+fn builder(name: &str) -> reach_bench::WorkloadBuilder {
+    match name {
+        "chase" => Box::new(|mem, alloc| {
+            build_chase(
+                mem,
+                alloc,
+                ChaseParams {
+                    nodes: 1024,
+                    hops: 1024,
+                    node_stride: 4096,
+                    work_per_hop: 20,
+                    work_insts: 1,
+                    seed: 1,
+                },
+                2,
+            )
+        }),
+        "multi" => {
+            Box::new(|mem, alloc| build_multi_chase(mem, alloc, MultiChaseParams::default(), 2))
+        }
+        "hash" => Box::new(|mem, alloc| {
+            build_hash(
+                mem,
+                alloc,
+                HashParams {
+                    capacity: 1 << 18,
+                    occupied: 120_000,
+                    lookups: 2048,
+                    hit_fraction: 0.8,
+                    seed: 1,
+                },
+                2,
+            )
+        }),
+        "zipf" => Box::new(|mem, alloc| build_zipf_kv(mem, alloc, ZipfKvParams::default(), 2)),
+        "tiered" => Box::new(|mem, alloc| {
+            build_tiered(
+                mem,
+                alloc,
+                &TieredParams {
+                    iters: 8192,
+                    ..TieredParams::default()
+                },
+                2,
+            )
+        }),
+        other => {
+            eprintln!("unknown workload '{other}'; use chase|multi|hash|zipf|tiered");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "chase".into());
+    let cfg = MachineConfig::default();
+    let build = builder(&name);
+
+    let (_, w) = fresh(&cfg, &*build);
+    let built = pgo_build(&cfg, &*build, 1, &PipelineOptions::default());
+
+    println!("== {name}: original binary ==");
+    print!("{}", w.prog.disasm());
+
+    println!("\n== {name}: pipeline report ==");
+    for d in &built.primary_report.decisions {
+        println!(
+            "load @{:>3}: p(miss)={:.2} gain={:>6.1} cyc cost={:>5.1} cyc -> {}",
+            d.pc,
+            d.likelihood,
+            d.gain,
+            d.cost,
+            if d.instrument { "INSTRUMENT" } else { "skip" }
+        );
+    }
+    if let Some(s) = &built.scavenger_report {
+        println!(
+            "scavenger: {} conditional yields; static inter-yield interval {:?} -> {:?}",
+            s.yields_inserted, s.max_interval_before, s.max_interval_after
+        );
+    }
+
+    println!("\n== {name}: instrumented binary (| = inserted) ==");
+    for (pc, inst) in built.prog.insts.iter().enumerate() {
+        let marker = match built.origin[pc] {
+            None => '|',
+            Some(_) => ' ',
+        };
+        let origin = built.origin[pc]
+            .map(|o| format!("{o:>4}"))
+            .unwrap_or_else(|| "   +".into());
+        println!("{marker} {pc:>4} (orig {origin}): {inst}");
+    }
+}

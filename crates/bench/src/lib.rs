@@ -1,0 +1,20 @@
+//! # reach-bench — experiment harnesses
+//!
+//! One `exp_*` binary per experiment in DESIGN.md §5 / EXPERIMENTS.md.
+//! Each binary sets up deterministic workloads, runs every mechanism
+//! involved, and prints the table or series the paper's claim implies.
+//! Criterion benches (`benches/`) measure the host-hardware side: real
+//! coroutine resume cost, real thread hand-off cost, and real
+//! prefetch-interleaving speedups.
+//!
+//! Run all experiments with:
+//!
+//! ```sh
+//! for b in $(cargo run --bin 2>&1 | grep exp_); do cargo run --release --bin $b; done
+//! ```
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{fresh, interleave_checked, pgo_build, RunRow, WorkloadBuilder, LAYOUT_BASE};
+pub use table::{cyc_ns, f, pct, Table};

@@ -1,0 +1,411 @@
+//! Dual-mode execution: the run-time half of asymmetric concurrency
+//! (§3.3).
+//!
+//! One latency-sensitive *primary* coroutine co-runs with a pool of
+//! *scavenger* coroutines:
+//!
+//! * the primary yields only at primary-instrumented sites (likely cache
+//!   misses, prefetch already issued);
+//! * a scavenger runs until it hits a scavenger-phase conditional yield —
+//!   placed ≈ one hide-interval apart — and then yields straight back to
+//!   the primary;
+//! * a scavenger that hits one of its *own* primary yields too early
+//!   instead hands off to **another** scavenger ("scale up the number of
+//!   scavenger coroutines on demand"), because its own prefetch is now in
+//!   flight and somebody has to consume cycles.
+//!
+//! The result: the primary's misses are hidden behind scavenger work, and
+//! the primary regains the CPU after ≈ the hide target, bounding its
+//! latency inflation — the property neither SMT nor symmetric round-robin
+//! provides.
+
+use reach_sim::{Context, ExecError, Exit, Machine, Mode, Program, Status, SwitchKind, YieldKind};
+
+/// Options for a dual-mode run.
+#[derive(Clone, Copy, Debug)]
+pub struct DualModeOptions {
+    /// Cycles of scavenger work that suffice to hide a primary miss
+    /// (defaults to the DRAM latency).
+    pub hide_target: u64,
+    /// Per-context instruction budget.
+    pub max_steps_per_ctx: u64,
+    /// After the primary completes, run remaining scavengers to
+    /// completion (symmetrically interleaved).
+    pub drain_scavengers: bool,
+}
+
+impl Default for DualModeOptions {
+    fn default() -> Self {
+        DualModeOptions {
+            hide_target: 300,
+            max_steps_per_ctx: u64::MAX,
+            drain_scavengers: true,
+        }
+    }
+}
+
+/// Result of a dual-mode run.
+#[derive(Clone, Debug, Default)]
+pub struct DualModeReport {
+    /// Primary wall-clock latency in cycles (start to halt).
+    pub primary_latency: Option<u64>,
+    /// Total cycles for the whole run (including scavenger drain).
+    pub total_cycles: u64,
+    /// Most scavengers consumed for a single primary miss (the on-demand
+    /// scale-up depth).
+    pub max_scavengers_per_fill: usize,
+    /// Scavenger contexts that ran at least once.
+    pub scavengers_used: usize,
+    /// Scavenger contexts that ran to completion.
+    pub scavengers_completed: usize,
+    /// Cycles the primary spent away from the CPU per fill (one entry per
+    /// primary yield).
+    pub fill_times: Vec<u64>,
+    /// Primary yields with no runnable scavenger available (the fill ran
+    /// on nothing and the miss was *not* hidden).
+    pub starved_fills: u64,
+}
+
+impl DualModeReport {
+    /// Mean fill time in cycles (0 when no fills happened).
+    pub fn mean_fill(&self) -> f64 {
+        if self.fill_times.is_empty() {
+            0.0
+        } else {
+            self.fill_times.iter().sum::<u64>() as f64 / self.fill_times.len() as f64
+        }
+    }
+}
+
+/// Runs `primary` over `primary_prog` co-scheduled with `scavengers` over
+/// `scav_prog` under the dual-mode discipline.
+///
+/// The primary context is forced into [`Mode::Primary`] and scavengers
+/// into [`Mode::Scavenger`] (so the conditional scavenger yields fire only
+/// in the pool).
+///
+/// # Errors
+///
+/// Propagates workload execution errors.
+pub fn run_dual_mode(
+    machine: &mut Machine,
+    primary_prog: &Program,
+    primary: &mut Context,
+    scav_prog: &Program,
+    scavengers: &mut [Context],
+    opts: &DualModeOptions,
+) -> Result<DualModeReport, ExecError> {
+    let started_at = machine.now;
+    primary.mode = Mode::Primary;
+    for s in scavengers.iter_mut() {
+        s.mode = Mode::Scavenger;
+    }
+
+    let mut report = DualModeReport::default();
+    let mut used = vec![false; scavengers.len()];
+    let mut next_scav = 0usize;
+
+    'primary: loop {
+        let exit = machine.run(primary_prog, primary, opts.max_steps_per_ctx)?;
+        match exit {
+            Exit::Done => break 'primary,
+            Exit::StepLimit => break 'primary,
+            Exit::Stalled { .. } => unreachable!("switch_on_stall is disabled here"),
+            Exit::Yielded { save_regs, .. } => {
+                // The primary just prefetched and yielded: fill the gap
+                // with scavenger work.
+                let fill_start = machine.now;
+                machine.charge_switch(SwitchKind::Coroutine(save_regs));
+
+                let mut scavs_this_fill = 0usize;
+                'fill: loop {
+                    // Pick the next runnable scavenger (round robin).
+                    let pick = (0..scavengers.len())
+                        .map(|off| (next_scav + off) % scavengers.len().max(1))
+                        .find(|&i| scavengers[i].status == Status::Runnable);
+                    let Some(i) = pick else {
+                        if scavs_this_fill == 0 {
+                            report.starved_fills += 1;
+                        }
+                        break 'fill;
+                    };
+                    next_scav = i;
+                    if !used[i] {
+                        used[i] = true;
+                        report.scavengers_used += 1;
+                    }
+                    scavs_this_fill += 1;
+
+                    let exit =
+                        machine.run(scav_prog, &mut scavengers[i], opts.max_steps_per_ctx)?;
+                    let elapsed = machine.now - fill_start;
+                    match exit {
+                        Exit::Done => {
+                            report.scavengers_completed += 1;
+                            if elapsed >= opts.hide_target {
+                                break 'fill;
+                            }
+                            // Otherwise keep filling with another one.
+                        }
+                        Exit::StepLimit => {
+                            scavengers[i].status = Status::Faulted;
+                        }
+                        Exit::Stalled { .. } => unreachable!(),
+                        Exit::Yielded {
+                            kind, save_regs, ..
+                        } => {
+                            machine.charge_switch(SwitchKind::Coroutine(save_regs));
+                            match kind {
+                                // Ran long enough (scavenger-phase yield)
+                                // or the target elapsed anyway: the CPU
+                                // goes back to the primary.
+                                YieldKind::Scavenger | YieldKind::Manual => break 'fill,
+                                _ if elapsed >= opts.hide_target => break 'fill,
+                                // Its own likely-miss: hand off to another
+                                // scavenger to consume more cycles.
+                                YieldKind::Primary | YieldKind::IfAbsent => {
+                                    next_scav = (i + 1) % scavengers.len();
+                                }
+                                #[allow(unreachable_patterns)]
+                                _ => break 'fill,
+                            }
+                        }
+                    }
+                }
+                report.max_scavengers_per_fill =
+                    report.max_scavengers_per_fill.max(scavs_this_fill);
+                report.fill_times.push(machine.now - fill_start);
+            }
+        }
+    }
+    report.primary_latency = primary.stats.latency();
+
+    if opts.drain_scavengers {
+        let iopts = crate::executor::InterleaveOptions {
+            max_steps_per_ctx: opts.max_steps_per_ctx,
+            ..crate::executor::InterleaveOptions::default()
+        };
+        let drain = crate::executor::run_interleaved(machine, scav_prog, scavengers, &iopts)?;
+        report.scavengers_completed += drain.completed;
+    }
+
+    report.total_cycles = machine.now - started_at;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_sim::isa::{AluOp, Cond, Inst, ProgramBuilder, Reg};
+    use reach_sim::MachineConfig;
+
+    /// Primary-instrumented chase program with scavenger yields after the
+    /// compute (the shape the full pipeline produces).
+    fn dual_instrumented_chase(with_scav_yields: bool) -> Program {
+        let mut b = ProgramBuilder::new("dchase");
+        let top = b.label();
+        b.bind(top);
+        b.prefetch(Reg(0), 0);
+        b.push(Inst::Yield {
+            kind: YieldKind::Primary,
+            save_regs: Some((1 << 0) | (1 << 1) | (1 << 6) | (1 << 7)),
+        });
+        b.load(Reg(4), Reg(0), 0);
+        b.load(Reg(3), Reg(0), 8);
+        b.alu(AluOp::Add, Reg(7), Reg(7), Reg(3), 1);
+        // Some per-hop compute so scavengers actually consume cycles.
+        b.alu(AluOp::Add, Reg(2), Reg(2), Reg(6), 60);
+        if with_scav_yields {
+            b.push(Inst::Yield {
+                kind: YieldKind::Scavenger,
+                save_regs: Some((1 << 0) | (1 << 1) | (1 << 2) | (1 << 6) | (1 << 7)),
+            });
+        }
+        b.alu(AluOp::Or, Reg(0), Reg(4), Reg(4), 1);
+        b.alu(AluOp::Sub, Reg(1), Reg(1), Reg(6), 1);
+        b.branch(Cond::Nez, Reg(1), top);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    fn lay_chain(m: &mut Machine, base: u64, n: u64) -> u64 {
+        for i in 0..n {
+            let addr = base + i * 4096;
+            let next = if i + 1 == n { 0 } else { base + (i + 1) * 4096 };
+            m.mem.write(addr, next).unwrap();
+            m.mem.write(addr + 8, addr ^ 0x9999).unwrap();
+        }
+        base
+    }
+
+    fn ctx_for(id: usize, head: u64, hops: u64) -> Context {
+        let mut c = Context::new(id);
+        c.set_reg(Reg(0), head);
+        c.set_reg(Reg(1), hops);
+        c.set_reg(Reg(6), 1);
+        c
+    }
+
+    #[test]
+    fn primary_latency_stays_near_solo_while_scavengers_add_work() {
+        let prog = dual_instrumented_chase(true);
+        let hops = 64u64;
+
+        // Solo primary (no scavengers): baseline latency.
+        let mut m0 = Machine::new(MachineConfig::default());
+        let h = lay_chain(&mut m0, 0x100_0000, hops);
+        let mut p0 = ctx_for(0, h, hops);
+        let r0 = run_dual_mode(
+            &mut m0,
+            &prog,
+            &mut p0,
+            &prog,
+            &mut [],
+            &DualModeOptions::default(),
+        )
+        .unwrap();
+        let solo_latency = r0.primary_latency.unwrap();
+        assert_eq!(r0.starved_fills as usize, r0.fill_times.len());
+
+        // With 4 scavengers.
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, hops);
+        let mut primary = ctx_for(0, hp, hops);
+        let mut scavs: Vec<Context> = (0..4)
+            .map(|i| {
+                let h = lay_chain(&mut m, 0x800_0000 + 0x100_0000 * i as u64, hops);
+                ctx_for(i + 1, h, hops)
+            })
+            .collect();
+        let r = run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &prog,
+            &mut scavs,
+            &DualModeOptions::default(),
+        )
+        .unwrap();
+        let dual_latency = r.primary_latency.unwrap();
+        assert!(r.scavengers_used >= 1);
+        assert_eq!(r.scavengers_completed, 4, "drain finishes the pool");
+
+        // The primary runs a little slower than solo (switch overhead +
+        // fill granularity) but nowhere near the 5x of fair sharing with
+        // 4 co-runners.
+        assert!(
+            dual_latency < solo_latency * 2,
+            "dual {dual_latency} vs solo {solo_latency}"
+        );
+        // And the machine did far more useful work per cycle than solo.
+        assert!(m.counters.cpu_efficiency() > m0.counters.cpu_efficiency());
+    }
+
+    #[test]
+    fn scavenger_primary_yield_scales_up_pool() {
+        // Scavengers run the *same* chase program: they hit their own
+        // primary yields immediately (prefetch+yield is the first thing in
+        // the loop), forcing on-demand scale-up past one scavenger.
+        let prog = dual_instrumented_chase(false); // no scavenger yields
+        let hops = 16u64;
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, hops);
+        let mut primary = ctx_for(0, hp, hops);
+        let mut scavs: Vec<Context> = (0..6)
+            .map(|i| {
+                let h = lay_chain(&mut m, 0x800_0000 + 0x100_0000 * i as u64, hops);
+                ctx_for(i + 1, h, hops)
+            })
+            .collect();
+        let r = run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &prog,
+            &mut scavs,
+            &DualModeOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            r.max_scavengers_per_fill > 1,
+            "pointer-chasing scavengers must chain: {}",
+            r.max_scavengers_per_fill
+        );
+    }
+
+    #[test]
+    fn scavenger_yield_returns_promptly() {
+        let prog = dual_instrumented_chase(true);
+        let hops = 32u64;
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, hops);
+        let mut primary = ctx_for(0, hp, hops);
+        let mut scavs = vec![{
+            let h = lay_chain(&mut m, 0x800_0000, hops * 4);
+            ctx_for(1, h, hops * 4)
+        }];
+        let r = run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &prog,
+            &mut scavs,
+            &DualModeOptions {
+                drain_scavengers: false,
+                ..DualModeOptions::default()
+            },
+        )
+        .unwrap();
+        // Fill times stay bounded: the scavenger's conditional yields
+        // bring control back around the hide target, not arbitrarily late.
+        let max_fill = r.fill_times.iter().max().copied().unwrap_or(0);
+        assert!(
+            max_fill < 4 * 300,
+            "a fill ran {max_fill} cycles; scavenger yields are not returning"
+        );
+        assert_eq!(r.starved_fills, 0);
+    }
+
+    #[test]
+    fn no_scavengers_counts_starved_fills() {
+        let prog = dual_instrumented_chase(true);
+        let hops = 8u64;
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, hops);
+        let mut primary = ctx_for(0, hp, hops);
+        let r = run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &prog,
+            &mut [],
+            &DualModeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.starved_fills, hops);
+        assert_eq!(r.scavengers_used, 0);
+    }
+
+    #[test]
+    fn modes_are_forced() {
+        let prog = dual_instrumented_chase(true);
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, 4);
+        let mut primary = ctx_for(0, hp, 4);
+        primary.mode = Mode::Scavenger; // wrong on purpose
+        let hs = lay_chain(&mut m, 0x800_0000, 4);
+        let mut scavs = vec![ctx_for(1, hs, 4)];
+        scavs[0].mode = Mode::Primary; // wrong on purpose
+        run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &prog,
+            &mut scavs,
+            &DualModeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(primary.mode, Mode::Primary);
+        assert_eq!(scavs[0].mode, Mode::Scavenger);
+    }
+}

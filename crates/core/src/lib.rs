@@ -1,0 +1,61 @@
+//! # reach-core — hiding 10–100 ns events in software, end to end
+//!
+//! The paper's mechanism assembled from the substrate crates:
+//!
+//! * [`pipeline`] — the three-step PGO flow: profile the original
+//!   coroutine code under sampling, apply primary `prefetch+yield`
+//!   instrumentation guided by the profile, then the scavenger pass that
+//!   bounds inter-yield intervals.
+//! * [`executor`] — the symmetric interleaving executor (coroutine or
+//!   OS-thread switch costs), with optional register poisoning that
+//!   *proves* liveness-derived save sets sound at run time.
+//! * [`dualmode`] — asymmetric concurrency: a latency-sensitive primary
+//!   coroutine whose misses are filled by scavenger-mode coroutines,
+//!   scaled on demand.
+//! * [`scheduler`] — §4.2 integration with a µs-task scheduler (FIFO vs
+//!   ready-queue side-car vs event-aware).
+//! * [`whatif`] — §4.1 hardware what-if: presence-probe-conditional
+//!   yields.
+//! * [`metrics`] — percentiles and cycle-accounting summaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use reach_core::{pgo_pipeline, run_interleaved, InterleaveOptions, PipelineOptions};
+//! use reach_sim::{Machine, MachineConfig};
+//! use reach_workloads::{build_chase, AddrAlloc, ChaseParams};
+//!
+//! // Lay out a pointer-chase workload with one profiling instance and
+//! // two execution instances.
+//! let mut m = Machine::new(MachineConfig::default());
+//! let mut alloc = AddrAlloc::new(0x10_0000);
+//! let params = ChaseParams { nodes: 256, hops: 256, ..ChaseParams::default() };
+//! let w = build_chase(&mut m.mem, &mut alloc, params, 3);
+//!
+//! // Profile + instrument.
+//! let mut prof = vec![w.instances[2].make_context(9)];
+//! let built = pgo_pipeline(&mut m, &w.prog, &mut prof, &PipelineOptions::default()).unwrap();
+//!
+//! // Interleave the two remaining instances over the instrumented binary.
+//! let mut ctxs = vec![w.instances[0].make_context(0), w.instances[1].make_context(1)];
+//! let rep = run_interleaved(&mut m, &built.prog, &mut ctxs, &InterleaveOptions::default()).unwrap();
+//! assert_eq!(rep.completed, 2);
+//! w.instances[0].assert_checksum(&ctxs[0]);
+//! ```
+
+pub mod dualmode;
+pub mod executor;
+pub mod metrics;
+pub mod pipeline;
+pub mod scheduler;
+pub mod whatif;
+
+pub use dualmode::{run_dual_mode, DualModeOptions, DualModeReport};
+pub use executor::{
+    run_interleaved, run_interleaved_multi, InterleaveOptions, InterleaveReport, Job, SwitchMode,
+    POISON,
+};
+pub use metrics::{percentile, CycleSummary};
+pub use pipeline::{pgo_pipeline, InstrumentedBinary, PipelineError, PipelineOptions};
+pub use scheduler::{run_task_queue, SchedPolicy, SchedReport, Task};
+pub use whatif::{make_conditional, yield_census, YieldCensus};

@@ -1,0 +1,133 @@
+//! Reporting helpers: percentiles and cycle-accounting summaries shared by
+//! the experiment harnesses.
+
+use reach_sim::{MachineConfig, PerfCounters};
+
+/// Returns the `p`-th percentile (0.0–1.0) of `values` using
+/// nearest-rank on a sorted copy. Returns 0 for an empty slice.
+pub fn percentile(values: &[u64], p: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    // Nearest-rank: the ceil(p*n)-th smallest value (1-indexed).
+    let rank = (p.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize;
+    v[rank.saturating_sub(1).min(v.len() - 1)]
+}
+
+/// A compact where-did-the-cycles-go summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CycleSummary {
+    /// Useful-work fraction (the paper's CPU efficiency).
+    pub efficiency: f64,
+    /// Memory-stall fraction.
+    pub stall: f64,
+    /// Context-switch fraction.
+    pub switching: f64,
+    /// Conditional-check fraction.
+    pub checks: f64,
+    /// Sampling-overhead fraction.
+    pub sampling: f64,
+    /// Idle fraction.
+    pub idle: f64,
+    /// Total cycles accounted.
+    pub total_cycles: u64,
+    /// Total wall-clock time in nanoseconds.
+    pub total_ns: f64,
+}
+
+impl CycleSummary {
+    /// Builds the summary from counters and the clock config.
+    pub fn from_counters(c: &PerfCounters, cfg: &MachineConfig) -> CycleSummary {
+        let total = c.total_cycles();
+        let frac = |x: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                x as f64 / total as f64
+            }
+        };
+        CycleSummary {
+            efficiency: frac(c.busy_cycles),
+            stall: frac(c.stall_cycles),
+            switching: frac(c.switch_cycles),
+            checks: frac(c.check_cycles),
+            sampling: frac(c.sampling_cycles),
+            idle: frac(c.idle_cycles),
+            total_cycles: total,
+            total_ns: cfg.cycles_to_ns(total),
+        }
+    }
+}
+
+impl std::fmt::Display for CycleSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "eff {:5.1}% | stall {:5.1}% | switch {:4.1}% | check {:4.1}% | \
+             sample {:4.1}% | idle {:4.1}% | {:.1} us",
+            self.efficiency * 100.0,
+            self.stall * 100.0,
+            self.switching * 100.0,
+            self.checks * 100.0,
+            self.sampling * 100.0,
+            self.idle * 100.0,
+            self.total_ns / 1000.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 0.5), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn percentile_unsorted_input_and_edges() {
+        assert_eq!(percentile(&[5, 1, 9], 0.5), 5);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&[1, 2, 3], 2.0), 3);
+    }
+
+    #[test]
+    fn summary_fractions_sum_to_one() {
+        let mut c = PerfCounters::new();
+        c.busy_cycles = 50;
+        c.stall_cycles = 30;
+        c.switch_cycles = 10;
+        c.idle_cycles = 10;
+        let s = CycleSummary::from_counters(&c, &MachineConfig::default());
+        let sum = s.efficiency + s.stall + s.switching + s.checks + s.sampling + s.idle;
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(s.total_cycles, 100);
+        assert!((s.total_ns - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_counters_summary() {
+        let s = CycleSummary::from_counters(&PerfCounters::new(), &MachineConfig::default());
+        assert_eq!(s.efficiency, 0.0);
+        assert_eq!(s.total_cycles, 0);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let mut c = PerfCounters::new();
+        c.busy_cycles = 1;
+        let s = CycleSummary::from_counters(&c, &MachineConfig::default());
+        let out = format!("{s}");
+        assert!(out.contains("eff"));
+        assert_eq!(out.lines().count(), 1);
+    }
+}

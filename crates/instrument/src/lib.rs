@@ -1,0 +1,49 @@
+//! # reach-instrument — profile-guided yield instrumentation
+//!
+//! Step (ii) of the paper's pipeline (§3.2–3.3), operating at the binary
+//! (micro-IR) level like BOLT-class rewriters so it "can be applied to any
+//! application or implementation":
+//!
+//! 1. [`cfg`](mod@cfg) — disassembly: CFG construction over the flat instruction
+//!    stream (leaders, blocks, edges, back edges, RPO).
+//! 2. [`liveness`] — backward register-liveness dataflow; yields save only
+//!    live registers, shrinking switch cost.
+//! 3. [`dependence`] — independence of adjacent loads, enabling *yield
+//!    coalescing* (several prefetches amortize one switch).
+//! 4. [`cost_model`] — the quantitative gain/cost model plus the insertion
+//!    policies (threshold, top-K, cost-model, all).
+//! 5. [`primary`] — insert `prefetch + yield` at likely-miss loads.
+//! 6. [`scavenger`] — insert *conditional* yields so the inter-yield
+//!    interval along every path stays below a target (LBR/profile-
+//!    calibrated common case, static worst-case bound).
+//! 7. [`rewrite`] — the relocation engine that keeps branch targets
+//!    correct across insertions and maps PCs between program versions.
+//!
+//! All passes are semantics-preserving: instrumented programs compute the
+//! same results as the originals under any interleaving (enforced by
+//! integration and property tests, including register-poisoning runs that
+//! verify liveness soundness).
+
+pub mod cfg;
+pub mod cost_model;
+pub mod counting;
+pub mod dependence;
+pub mod liveness;
+pub mod loops;
+pub mod primary;
+pub mod rewrite;
+pub mod scavenger;
+pub mod sfi;
+pub mod validate;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use cost_model::{remap_to_origin, select_sites, smooth_profile, Policy, SiteDecision};
+pub use counting::{instrument_counting, CountingInstrumented, R_COUNTER_BASE};
+pub use dependence::{coalesce_groups, hoistable_to_start};
+pub use liveness::{regset_to_string, Liveness, RegSet, ALL_REGS};
+pub use loops::{natural_loops, Dominators, NaturalLoop};
+pub use primary::{instrument_primary, PrimaryOptions, PrimaryReport};
+pub use rewrite::{insert_before, Insertion, PcMap, RewriteError};
+pub use scavenger::{instrument_scavenger, ScavReport, ScavengerOptions};
+pub use sfi::{instrument_sfi, SfiReport, R_SFI_ADDR, R_SFI_MASK};
+pub use validate::{validate_rewrite, ValidationError};

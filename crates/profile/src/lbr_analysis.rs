@@ -1,0 +1,218 @@
+//! LBR aggregation: block latencies and common paths.
+//!
+//! §3.3: "profiling mechanisms like Intel's LBR can extract information
+//! like the latency of a basic block and the common paths in the program
+//! [34, 35]". This module turns raw [`BranchRecord`] snapshots into those
+//! two artifacts:
+//!
+//! * a per-straight-run latency estimate (mean cycles between two taken
+//!   branches, keyed by the run's start/end PCs), and
+//! * taken-edge frequencies, from which hot paths are reconstructed.
+
+use reach_sim::lbr::{straight_runs, BranchRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Accumulated timing for one straight-line run (`start..=end`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunTiming {
+    /// Observations of this run.
+    pub count: u64,
+    /// Total observed cycles.
+    pub total_cycles: u64,
+}
+
+impl RunTiming {
+    /// Mean observed latency in cycles.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregates LBR snapshots into block latencies and edge frequencies.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BlockLatencyEstimator {
+    /// Timing per (start PC, ending-branch PC) straight run.
+    ///
+    /// Serialized as a list of `((start, end), timing)` pairs via
+    /// serde-friendly `Vec` representation.
+    #[serde(with = "run_map_serde")]
+    pub runs: HashMap<(usize, usize), RunTiming>,
+    /// Taken-edge frequency per (branch PC, target PC).
+    #[serde(with = "run_map_serde")]
+    pub edges: HashMap<(usize, usize), u64>,
+    /// Snapshots folded in.
+    pub snapshots: u64,
+}
+
+/// Serde helper: `HashMap<(usize, usize), V>` as a `Vec` of tuples (JSON
+/// maps cannot key on tuples).
+mod run_map_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    pub fn serialize<S, V>(map: &HashMap<(usize, usize), V>, ser: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+        V: Serialize + Clone,
+    {
+        let mut v: Vec<((usize, usize), V)> =
+            map.iter().map(|(k, val)| (*k, val.clone())).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D, V>(de: D) -> Result<HashMap<(usize, usize), V>, D::Error>
+    where
+        D: Deserializer<'de>,
+        V: Deserialize<'de>,
+    {
+        let v: Vec<((usize, usize), V)> = Vec::deserialize(de)?;
+        Ok(v.into_iter().collect())
+    }
+}
+
+impl BlockLatencyEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one LBR snapshot (oldest-first records) into the estimator.
+    pub fn add_snapshot(&mut self, records: &[BranchRecord]) {
+        self.snapshots += 1;
+        for r in records {
+            *self.edges.entry((r.from, r.to)).or_insert(0) += 1;
+        }
+        for run in straight_runs(records) {
+            let t = self.runs.entry((run.start, run.end)).or_default();
+            t.count += 1;
+            t.total_cycles += run.cycles;
+        }
+    }
+
+    /// Mean latency of the straight run `start..=end`, if observed.
+    pub fn run_latency(&self, start: usize, end: usize) -> Option<f64> {
+        self.runs.get(&(start, end)).map(RunTiming::mean)
+    }
+
+    /// Mean observed cycles-per-instruction over all runs, weighted by
+    /// observation count. Returns `None` with no data.
+    ///
+    /// The fallback rate the scavenger pass uses for code with no direct
+    /// observation.
+    pub fn mean_cpi(&self) -> Option<f64> {
+        let (mut cycles, mut insts) = (0u64, 0u64);
+        for (&(start, end), t) in &self.runs {
+            if end >= start {
+                cycles += t.total_cycles;
+                insts += (end - start + 1) as u64 * t.count;
+            }
+        }
+        if insts == 0 {
+            None
+        } else {
+            Some(cycles as f64 / insts as f64)
+        }
+    }
+
+    /// The most frequently taken successor of the branch at `pc`, if any.
+    pub fn hot_successor(&self, pc: usize) -> Option<usize> {
+        self.edges
+            .iter()
+            .filter(|(&(from, _), _)| from == pc)
+            .max_by_key(|(&(_, to), &n)| (n, std::cmp::Reverse(to)))
+            .map(|(&(_, to), _)| to)
+    }
+
+    /// Total times the taken edge `(from, to)` was observed.
+    pub fn edge_count(&self, from: usize, to: usize) -> u64 {
+        self.edges.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Merges another estimator into this one.
+    pub fn merge(&mut self, other: &BlockLatencyEstimator) {
+        for (&k, t) in &other.runs {
+            let e = self.runs.entry(k).or_default();
+            e.count += t.count;
+            e.total_cycles += t.total_cycles;
+        }
+        for (&k, &n) in &other.edges {
+            *self.edges.entry(k).or_insert(0) += n;
+        }
+        self.snapshots += other.snapshots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(from: usize, to: usize, cycle: u64) -> BranchRecord {
+        BranchRecord { from, to, cycle }
+    }
+
+    #[test]
+    fn snapshot_builds_runs_and_edges() {
+        let mut e = BlockLatencyEstimator::new();
+        e.add_snapshot(&[rec(5, 10, 100), rec(14, 2, 130), rec(8, 5, 160)]);
+        assert_eq!(e.run_latency(10, 14), Some(30.0));
+        assert_eq!(e.run_latency(2, 8), Some(30.0));
+        assert_eq!(e.edge_count(5, 10), 1);
+        assert_eq!(e.edge_count(14, 2), 1);
+        assert_eq!(e.snapshots, 1);
+    }
+
+    #[test]
+    fn latencies_average_over_observations() {
+        let mut e = BlockLatencyEstimator::new();
+        e.add_snapshot(&[rec(5, 10, 100), rec(14, 2, 120)]);
+        e.add_snapshot(&[rec(5, 10, 500), rec(14, 2, 540)]);
+        assert_eq!(e.run_latency(10, 14), Some(30.0));
+    }
+
+    #[test]
+    fn hot_successor_picks_majority_target() {
+        let mut e = BlockLatencyEstimator::new();
+        for _ in 0..3 {
+            e.add_snapshot(&[rec(7, 20, 1)]);
+        }
+        e.add_snapshot(&[rec(7, 30, 1)]);
+        assert_eq!(e.hot_successor(7), Some(20));
+        assert_eq!(e.hot_successor(99), None);
+    }
+
+    #[test]
+    fn mean_cpi_weights_by_count() {
+        let mut e = BlockLatencyEstimator::new();
+        // Run 10..=14 (5 instructions) took 30 cycles: CPI 6.
+        e.add_snapshot(&[rec(5, 10, 100), rec(14, 2, 130)]);
+        assert_eq!(e.mean_cpi(), Some(6.0));
+        assert_eq!(BlockLatencyEstimator::new().mean_cpi(), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BlockLatencyEstimator::new();
+        a.add_snapshot(&[rec(5, 10, 100), rec(14, 2, 130)]);
+        let mut b = BlockLatencyEstimator::new();
+        b.add_snapshot(&[rec(5, 10, 0), rec(14, 2, 40)]);
+        a.merge(&b);
+        assert_eq!(a.run_latency(10, 14), Some(35.0));
+        assert_eq!(a.edge_count(5, 10), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut e = BlockLatencyEstimator::new();
+        e.add_snapshot(&[rec(5, 10, 100), rec(14, 2, 130)]);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: BlockLatencyEstimator = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.run_latency(10, 14), Some(30.0));
+        assert_eq!(back.edge_count(5, 10), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # reach-profile — sample-based profiling analysis
+//!
+//! Step (i) of the paper's PGO pipeline (§3.2): run the original code
+//! under PEBS-style sampling and turn the raw samples into the artifacts
+//! the instrumenter consumes.
+//!
+//! * [`collector`] drives a profiled run: programs the §3.2 event set
+//!   (L2-miss loads, L3-miss loads, stalled cycles, retired instructions),
+//!   drains buffers periodically, snapshots the LBR, and reports the
+//!   collection *cost*.
+//! * [`profile`] holds the aggregated [`Profile`]: per-PC miss-likelihood
+//!   and stall estimates (sample counts scaled by period), serializable
+//!   between pipeline phases.
+//! * [`lbr_analysis`] recovers basic-block latencies and hot paths from
+//!   branch records — the scavenger pass's timing source.
+//! * [`accuracy`] scores a profile against simulator ground truth
+//!   (precision/recall/MAE), powering the sampling-parameter experiment.
+
+pub mod accuracy;
+pub mod collector;
+pub mod lbr_analysis;
+pub mod profile;
+
+pub use accuracy::{score, Accuracy};
+pub use collector::{collect, CollectionCost, CollectorConfig};
+pub use lbr_analysis::{BlockLatencyEstimator, RunTiming};
+pub use profile::{Periods, Profile};

@@ -1,0 +1,408 @@
+//! The [`Profile`]: aggregated sample-based profiling data for one program.
+//!
+//! A profile is built from PEBS-style samples of four events (L2-miss
+//! loads, L3-miss loads, stalled cycles, retired instructions) plus
+//! LBR-derived block timings. Sample counts are scaled by their sampling
+//! periods into occurrence *estimates*; every estimate is therefore noisy
+//! in exactly the way a production profile is — which is the point: the
+//! instrumentation downstream must work from this, not from ground truth.
+
+use crate::lbr_analysis::BlockLatencyEstimator;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sampling periods the profile was collected with (needed to scale
+/// sample counts back into occurrence estimates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Periods {
+    /// Period of the L2-miss load counter.
+    pub l2_miss: u64,
+    /// Period of the L3-miss load counter.
+    pub l3_miss: u64,
+    /// Period of the stalled-cycle counter.
+    pub stall: u64,
+    /// Period of the retired-instruction counter.
+    pub retired: u64,
+}
+
+impl Default for Periods {
+    fn default() -> Self {
+        Periods {
+            l2_miss: 127,
+            l3_miss: 127,
+            stall: 509,
+            retired: 997,
+        }
+    }
+}
+
+/// Aggregated profile for one program image.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Profile {
+    /// Program name this profile belongs to.
+    pub program: String,
+    /// The sampling configuration.
+    pub periods: Periods,
+    /// L2-miss load samples per PC.
+    pub l2_miss_samples: HashMap<usize, u64>,
+    /// L3-miss load samples per PC.
+    pub l3_miss_samples: HashMap<usize, u64>,
+    /// Stalled-cycle samples per PC.
+    pub stall_samples: HashMap<usize, u64>,
+    /// Retired-instruction samples per PC.
+    pub retired_samples: HashMap<usize, u64>,
+    /// LBR-derived block latency and path frequency data.
+    pub blocks: BlockLatencyEstimator,
+    /// Total samples folded in (all events).
+    pub total_samples: u64,
+    /// Basic-block-smoothed execution estimates per PC (see
+    /// [`Profile::set_block_smoothing`]). Empty until smoothing is
+    /// applied.
+    pub smoothed_execs: HashMap<usize, f64>,
+}
+
+impl Profile {
+    /// Creates an empty profile for `program` collected at `periods`.
+    pub fn new(program: impl Into<String>, periods: Periods) -> Self {
+        Profile {
+            program: program.into(),
+            periods,
+            ..Profile::default()
+        }
+    }
+
+    /// Estimated number of L2-miss loads at `pc` (samples × period).
+    pub fn est_l2_misses(&self, pc: usize) -> f64 {
+        self.l2_miss_samples.get(&pc).copied().unwrap_or(0) as f64 * self.periods.l2_miss as f64
+    }
+
+    /// Estimated number of L3-miss (DRAM) loads at `pc`.
+    pub fn est_l3_misses(&self, pc: usize) -> f64 {
+        self.l3_miss_samples.get(&pc).copied().unwrap_or(0) as f64 * self.periods.l3_miss as f64
+    }
+
+    /// Estimated executions of the instruction at `pc`.
+    ///
+    /// Uses the block-smoothed estimate when
+    /// [`Profile::set_block_smoothing`] has been applied; otherwise the
+    /// raw per-PC sample count scaled by the period. Raw per-PC counts are
+    /// very noisy for short loops (a period-997 instruction counter lands
+    /// on only a few PCs), which is why production FDO systems aggregate
+    /// at basic-block granularity — and so do we.
+    pub fn est_executions(&self, pc: usize) -> f64 {
+        if let Some(&e) = self.smoothed_execs.get(&pc) {
+            return e;
+        }
+        self.retired_samples.get(&pc).copied().unwrap_or(0) as f64 * self.periods.retired as f64
+    }
+
+    /// Applies basic-block smoothing: every instruction of a block
+    /// executes equally often, so each block's retired samples are pooled
+    /// and divided evenly across its PCs.
+    ///
+    /// `blocks` are the half-open PC ranges of the profiled program's
+    /// basic blocks (from CFG construction; the profile crate itself has
+    /// no CFG machinery — callers pass the ranges in).
+    pub fn set_block_smoothing(
+        &mut self,
+        blocks: impl IntoIterator<Item = std::ops::Range<usize>>,
+    ) {
+        self.smoothed_execs.clear();
+        for range in blocks {
+            let len = range.len();
+            if len == 0 {
+                continue;
+            }
+            let samples: u64 = range
+                .clone()
+                .map(|pc| self.retired_samples.get(&pc).copied().unwrap_or(0))
+                .sum();
+            let per_pc = samples as f64 * self.periods.retired as f64 / len as f64;
+            for pc in range {
+                self.smoothed_execs.insert(pc, per_pc);
+            }
+        }
+    }
+
+    /// Estimated stalled cycles attributed to `pc`.
+    pub fn est_stall_cycles(&self, pc: usize) -> f64 {
+        self.stall_samples.get(&pc).copied().unwrap_or(0) as f64 * self.periods.stall as f64
+    }
+
+    /// Estimated probability that an execution of the load at `pc` misses
+    /// L2, clamped to `[0, 1]`.
+    ///
+    /// Returns 0 for PCs with no retired-instruction samples: with no
+    /// execution estimate there is nothing to normalize by (such a PC is
+    /// too cold to be worth instrumenting anyway).
+    pub fn miss_likelihood(&self, pc: usize) -> f64 {
+        let execs = self.est_executions(pc);
+        if execs <= 0.0 {
+            return 0.0;
+        }
+        (self.est_l2_misses(pc) / execs).min(1.0)
+    }
+
+    /// §3.2 event correlation: estimated average *stall* cycles caused per
+    /// L2 miss at `pc`, combining the miss counter (i) with the
+    /// stalled-cycle counter (ii). Returns `None` when either signal has
+    /// no samples at this PC — misses that never show up in the stall
+    /// profile are being absorbed by the OoO window and need no hiding.
+    pub fn stall_per_miss(&self, pc: usize) -> Option<f64> {
+        let misses = self.est_l2_misses(pc);
+        let stalls = self.est_stall_cycles(pc);
+        if misses <= 0.0 || stalls <= 0.0 {
+            return None;
+        }
+        Some(stalls / misses)
+    }
+
+    /// PCs whose estimated miss likelihood is at least `threshold`,
+    /// sorted.
+    pub fn miss_pcs(&self, threshold: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .l2_miss_samples
+            .keys()
+            .copied()
+            .filter(|&pc| self.miss_likelihood(pc) >= threshold)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The PCs with stall samples, ranked by estimated stall cycles
+    /// (descending) — "where the cycles go".
+    pub fn stall_ranking(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self
+            .stall_samples
+            .keys()
+            .map(|&pc| (pc, self.est_stall_cycles(pc)))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Staleness of this profile relative to a fresher one: the total
+    /// variation distance between their normalized per-PC miss
+    /// distributions, in `[0, 1]` (0 = identical shape, 1 = disjoint
+    /// supports).
+    ///
+    /// Production FDO systems track this to know when a shipped profile
+    /// no longer matches live behaviour (workload drift, as in the BFS
+    /// representativeness discussion); re-profile when it grows.
+    pub fn miss_distribution_distance(&self, other: &Profile) -> f64 {
+        let total = |p: &Profile| p.l2_miss_samples.values().sum::<u64>() as f64;
+        let (ta, tb) = (total(self), total(other));
+        if ta == 0.0 && tb == 0.0 {
+            return 0.0;
+        }
+        if ta == 0.0 || tb == 0.0 {
+            return 1.0;
+        }
+        let mut pcs: Vec<usize> = self
+            .l2_miss_samples
+            .keys()
+            .chain(other.l2_miss_samples.keys())
+            .copied()
+            .collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        0.5 * pcs
+            .iter()
+            .map(|pc| {
+                let a = self.l2_miss_samples.get(pc).copied().unwrap_or(0) as f64 / ta;
+                let b = other.l2_miss_samples.get(pc).copied().unwrap_or(0) as f64 / tb;
+                (a - b).abs()
+            })
+            .sum::<f64>()
+    }
+
+    /// Merges another profile (same program, same periods) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the periods differ — mixing scales silently would corrupt
+    /// every estimate.
+    pub fn merge(&mut self, other: &Profile) {
+        assert_eq!(
+            self.periods, other.periods,
+            "cannot merge profiles with different sampling periods"
+        );
+        for (&pc, &n) in &other.l2_miss_samples {
+            *self.l2_miss_samples.entry(pc).or_insert(0) += n;
+        }
+        for (&pc, &n) in &other.l3_miss_samples {
+            *self.l3_miss_samples.entry(pc).or_insert(0) += n;
+        }
+        for (&pc, &n) in &other.stall_samples {
+            *self.stall_samples.entry(pc).or_insert(0) += n;
+        }
+        for (&pc, &n) in &other.retired_samples {
+            *self.retired_samples.entry(pc).or_insert(0) += n;
+        }
+        self.blocks.merge(&other.blocks);
+        self.total_samples += other.total_samples;
+        // Any previous smoothing is stale now.
+        self.smoothed_execs.clear();
+    }
+
+    /// Serializes to JSON (profile persistence between the profiling and
+    /// instrumentation phases of the PGO pipeline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("profile serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Profile, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> Profile {
+        let mut p = Profile::new(
+            "t",
+            Periods {
+                l2_miss: 10,
+                l3_miss: 10,
+                stall: 100,
+                retired: 50,
+            },
+        );
+        p.l2_miss_samples.insert(5, 8); // est 80 misses
+        p.l3_miss_samples.insert(5, 6); // est 60 DRAM misses
+        p.retired_samples.insert(5, 2); // est 100 executions
+        p.stall_samples.insert(5, 216); // est 21600 stall cycles
+        p.retired_samples.insert(9, 4); // est 200 executions, no misses
+        p.total_samples = 236;
+        p
+    }
+
+    #[test]
+    fn estimates_scale_by_period() {
+        let p = sample_profile();
+        assert_eq!(p.est_l2_misses(5), 80.0);
+        assert_eq!(p.est_l3_misses(5), 60.0);
+        assert_eq!(p.est_executions(5), 100.0);
+        assert_eq!(p.est_stall_cycles(5), 21600.0);
+        assert_eq!(p.est_l2_misses(42), 0.0);
+    }
+
+    #[test]
+    fn miss_likelihood_normalizes_and_clamps() {
+        let p = sample_profile();
+        assert!((p.miss_likelihood(5) - 0.8).abs() < 1e-12);
+        assert_eq!(p.miss_likelihood(9), 0.0, "no miss samples");
+        assert_eq!(p.miss_likelihood(1234), 0.0, "unseen pc");
+        let mut q = sample_profile();
+        q.l2_miss_samples.insert(5, 100); // est 1000 > 100 execs
+        assert_eq!(q.miss_likelihood(5), 1.0, "clamped");
+    }
+
+    #[test]
+    fn stall_per_miss_correlates_the_two_counters() {
+        let p = sample_profile();
+        assert!((p.stall_per_miss(5).unwrap() - 270.0).abs() < 1e-9);
+        assert_eq!(p.stall_per_miss(9), None);
+    }
+
+    #[test]
+    fn miss_pcs_filters_by_threshold() {
+        let mut p = sample_profile();
+        p.l2_miss_samples.insert(9, 1); // est 10 / 200 execs = 0.05
+        assert_eq!(p.miss_pcs(0.5), vec![5]);
+        assert_eq!(p.miss_pcs(0.01), vec![5, 9]);
+    }
+
+    #[test]
+    fn stall_ranking_descends() {
+        let mut p = sample_profile();
+        p.stall_samples.insert(9, 10);
+        let r = p.stall_ranking();
+        assert_eq!(r[0].0, 5);
+        assert_eq!(r[1].0, 9);
+        assert!(r[0].1 > r[1].1);
+    }
+
+    #[test]
+    fn merge_accumulates_samples() {
+        let mut a = sample_profile();
+        let b = sample_profile();
+        a.merge(&b);
+        assert_eq!(a.l2_miss_samples[&5], 16);
+        assert_eq!(a.total_samples, 472);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sampling periods")]
+    fn merge_rejects_mismatched_periods() {
+        let mut a = sample_profile();
+        let b = Profile::new("t", Periods::default());
+        a.merge(&b);
+    }
+
+    #[test]
+    fn block_smoothing_pools_samples_across_the_block() {
+        let mut p = Profile::new(
+            "t",
+            Periods {
+                l2_miss: 1,
+                l3_miss: 1,
+                stall: 1,
+                retired: 10,
+            },
+        );
+        // A 4-instruction block where only pc 2 happened to be sampled.
+        p.retired_samples.insert(2, 8); // raw est: 80 execs at pc 2 only
+        assert_eq!(p.est_executions(0), 0.0);
+        p.set_block_smoothing(std::iter::once(0..4));
+        // Pooled: 8 samples * 10 / 4 = 20 execs per pc.
+        for pc in 0..4 {
+            assert_eq!(p.est_executions(pc), 20.0);
+        }
+        // Smoothing changes likelihood denominators accordingly.
+        p.l2_miss_samples.insert(0, 18);
+        assert!((p.miss_likelihood(0) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_invalidates_smoothing() {
+        let mut a = sample_profile();
+        a.set_block_smoothing(std::iter::once(5..6));
+        assert!(!a.smoothed_execs.is_empty());
+        let b = sample_profile();
+        a.merge(&b);
+        assert!(a.smoothed_execs.is_empty());
+    }
+
+    #[test]
+    fn staleness_distance_behaves() {
+        let a = sample_profile();
+        assert_eq!(a.miss_distribution_distance(&a), 0.0, "self-distance");
+        let mut b = sample_profile();
+        b.l2_miss_samples.clear();
+        b.l2_miss_samples.insert(99, 10); // completely different site
+        assert!((a.miss_distribution_distance(&b) - 1.0).abs() < 1e-12);
+        // Partial overlap sits strictly between.
+        let mut c = sample_profile();
+        c.l2_miss_samples.insert(99, 8); // half its mass elsewhere
+        let d = a.miss_distribution_distance(&c);
+        assert!(d > 0.0 && d < 1.0, "got {d}");
+        // Empty vs non-empty is maximally stale; empty vs empty is fresh.
+        let e = Profile::new("t", a.periods);
+        assert_eq!(a.miss_distribution_distance(&e), 1.0);
+        assert_eq!(e.miss_distribution_distance(&e), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = sample_profile();
+        let q = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(q.l2_miss_samples, p.l2_miss_samples);
+        assert_eq!(q.periods, p.periods);
+        assert_eq!(q.program, "t");
+    }
+}

@@ -1,0 +1,635 @@
+//! Set-associative cache hierarchy with in-flight fill (MSHR) tracking.
+//!
+//! Three levels (L1/L2/L3) plus a DRAM latency model. The hierarchy is
+//! *mostly inclusive*: a fill installs the line at every level; evictions do
+//! not back-invalidate inner levels, and there is no dirty/write-back cost
+//! modelling — neither affects the stall structure the paper's mechanism
+//! targets (demand-miss latency and prefetch overlap).
+//!
+//! Prefetches allocate an MSHR entry and install the line only when the
+//! fill completes; a demand access that arrives while the fill is in flight
+//! pays only the *remaining* latency. This is exactly the overlap window
+//! profile-guided `prefetch+yield` instrumentation exploits.
+
+use crate::config::MachineConfig;
+use std::collections::HashMap;
+
+/// Which level serviced an access. `Mem` means a full miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// L1 data cache.
+    L1,
+    /// Unified L2.
+    L2,
+    /// Last-level cache.
+    L3,
+    /// DRAM.
+    Mem,
+}
+
+impl Level {
+    /// Index 0..=3 for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Level::L1 => 0,
+            Level::L2 => 1,
+            Level::L3 => 2,
+            Level::Mem => 3,
+        }
+    }
+
+    /// The level for an index 0..=3.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an index greater than 3.
+    pub fn from_index(i: usize) -> Level {
+        match i {
+            0 => Level::L1,
+            1 => Level::L2,
+            2 => Level::L3,
+            3 => Level::Mem,
+            _ => panic!("no cache level with index {i}"),
+        }
+    }
+}
+
+/// The outcome of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The level that serviced the request (for an access that merged with
+    /// an in-flight fill, the level that fill was fetching from).
+    pub level: Level,
+    /// Absolute cycle at which the data is available.
+    pub ready: u64,
+    /// Whether this demand access merged with an in-flight (prefetched)
+    /// fill and therefore paid only part of the full latency.
+    pub merged_with_fill: bool,
+}
+
+/// One cache line's metadata.
+#[derive(Clone, Copy, Debug)]
+struct LineMeta {
+    tag: u64,
+    /// LRU timestamp: monotonically increasing access stamp.
+    stamp: u64,
+    valid: bool,
+}
+
+const INVALID: LineMeta = LineMeta {
+    tag: 0,
+    stamp: 0,
+    valid: false,
+};
+
+/// A single set-associative cache level with LRU replacement.
+#[derive(Clone, Debug)]
+struct CacheLevel {
+    /// `sets * ways` line metadata, row-major by set.
+    lines: Vec<LineMeta>,
+    ways: usize,
+    set_mask: u64,
+    stamp: u64,
+}
+
+impl CacheLevel {
+    fn new(sets: usize, ways: usize) -> Self {
+        CacheLevel {
+            lines: vec![INVALID; sets * ways],
+            ways,
+            set_mask: sets as u64 - 1,
+            stamp: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
+        let set = (line_addr & self.set_mask) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up `line_addr`; on hit refreshes LRU and returns `true`.
+    fn lookup(&mut self, line_addr: u64) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(line_addr);
+        let tag = line_addr;
+        for meta in &mut self.lines[range] {
+            if meta.valid && meta.tag == tag {
+                meta.stamp = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Read-only presence check (does not perturb LRU) — used by the §4.1
+    /// presence probe.
+    fn contains(&self, line_addr: u64) -> bool {
+        let range = self.set_range(line_addr);
+        self.lines[range]
+            .iter()
+            .any(|m| m.valid && m.tag == line_addr)
+    }
+
+    /// Installs `line_addr`, evicting the LRU way if the set is full.
+    /// Returns the evicted line address, if any.
+    fn install(&mut self, line_addr: u64) -> Option<u64> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(line_addr);
+        let set = &mut self.lines[range];
+        // Already present (e.g. re-install after an inner-level miss):
+        // refresh.
+        for meta in set.iter_mut() {
+            if meta.valid && meta.tag == line_addr {
+                meta.stamp = stamp;
+                return None;
+            }
+        }
+        // Free way?
+        for meta in set.iter_mut() {
+            if !meta.valid {
+                *meta = LineMeta {
+                    tag: line_addr,
+                    stamp,
+                    valid: true,
+                };
+                return None;
+            }
+        }
+        // Evict LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|m| m.stamp)
+            .expect("ways > 0 by construction");
+        let evicted = victim.tag;
+        *victim = LineMeta {
+            tag: line_addr,
+            stamp,
+            valid: true,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidates `line_addr` if present (used by tests and flush).
+    fn invalidate(&mut self, line_addr: u64) {
+        let range = self.set_range(line_addr);
+        for meta in &mut self.lines[range] {
+            if meta.valid && meta.tag == line_addr {
+                meta.valid = false;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.lines.fill(INVALID);
+    }
+}
+
+/// Per-hierarchy event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses serviced per level (`[l1, l2, l3, mem]`).
+    pub demand_hits: [u64; 4],
+    /// Demand accesses that merged with an in-flight prefetch.
+    pub demand_merged: u64,
+    /// Software prefetches issued.
+    pub prefetches: u64,
+    /// Software prefetches that were useless (line already in L1).
+    pub prefetch_useless: u64,
+    /// Hardware next-line prefetches issued.
+    pub hw_prefetches: u64,
+}
+
+/// The full L1/L2/L3 + memory hierarchy.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    l3: CacheLevel,
+    latencies: [u64; 4],
+    line_shift: u32,
+    /// Next-line hardware prefetcher degree (0 = off).
+    hw_degree: usize,
+    /// In-flight fills: line address → (completion cycle, origin level).
+    mshr: HashMap<u64, (u64, Level)>,
+    /// Statistics.
+    pub stats: CacheStats,
+}
+
+/// Kind of hierarchy access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A demand load: the context will wait for `ready`.
+    DemandLoad,
+    /// A store (write-allocate, non-blocking).
+    Store,
+    /// A software prefetch (non-blocking, installs at completion).
+    Prefetch,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from the machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`MachineConfig::assert_valid`]).
+    pub fn new(cfg: &MachineConfig) -> Self {
+        cfg.assert_valid();
+        let line = cfg.line_bytes;
+        Hierarchy {
+            l1: CacheLevel::new(cfg.l1.sets(line), cfg.l1.ways),
+            l2: CacheLevel::new(cfg.l2.sets(line), cfg.l2.ways),
+            l3: CacheLevel::new(cfg.l3.sets(line), cfg.l3.ways),
+            latencies: [
+                cfg.l1.hit_latency,
+                cfg.l2.hit_latency,
+                cfg.l3.hit_latency,
+                cfg.mem_latency,
+            ],
+            line_shift: line.trailing_zeros(),
+            hw_degree: cfg.hw_prefetch_degree,
+            mshr: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The line address (tag+index, i.e. byte address >> line bits) for a
+    /// byte address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Completes every in-flight fill whose completion cycle is ≤ `now`,
+    /// installing the lines into all levels.
+    ///
+    /// Completed fills install in (ready, line) order so that LRU stamps —
+    /// and therefore every downstream result — are deterministic regardless
+    /// of hash-map iteration order.
+    fn drain_fills(&mut self, now: u64) {
+        if self.mshr.is_empty() {
+            return;
+        }
+        let mut done: Vec<(u64, u64)> = self
+            .mshr
+            .iter()
+            .filter(|&(_, &(ready, _))| ready <= now)
+            .map(|(&line, &(ready, _))| (ready, line))
+            .collect();
+        done.sort_unstable();
+        for (_, line) in done {
+            self.mshr.remove(&line);
+            self.install_all(line);
+        }
+    }
+
+    fn install_all(&mut self, line: u64) {
+        self.l3.install(line);
+        self.l2.install(line);
+        self.l1.install(line);
+    }
+
+    /// Performs an access of `kind` to byte address `addr` at cycle `now`.
+    ///
+    /// For [`AccessKind::DemandLoad`] the returned [`Access::ready`] is
+    /// when the value is available; the caller charges the stall. Stores
+    /// and prefetches return immediately-usable results (the caller charges
+    /// only their issue cost).
+    pub fn access(&mut self, addr: u64, now: u64, kind: AccessKind) -> Access {
+        self.drain_fills(now);
+        let line = self.line_of(addr);
+
+        if kind == AccessKind::DemandLoad {
+            self.train_hw_prefetcher(line, now);
+        }
+
+        // Merge with an in-flight fill: pay only the remaining latency.
+        if let Some(&(ready, origin)) = self.mshr.get(&line) {
+            match kind {
+                AccessKind::DemandLoad => {
+                    self.stats.demand_merged += 1;
+                    self.stats.demand_hits[origin.index()] += 1;
+                    return Access {
+                        level: origin,
+                        ready,
+                        merged_with_fill: true,
+                    };
+                }
+                AccessKind::Store | AccessKind::Prefetch => {
+                    return Access {
+                        level: origin,
+                        ready,
+                        merged_with_fill: true,
+                    };
+                }
+            }
+        }
+
+        // Walk the hierarchy.
+        let level = if self.l1.lookup(line) {
+            Level::L1
+        } else if self.l2.lookup(line) {
+            Level::L2
+        } else if self.l3.lookup(line) {
+            Level::L3
+        } else {
+            Level::Mem
+        };
+        let ready = now + self.latencies[level.index()];
+
+        match kind {
+            AccessKind::DemandLoad => {
+                self.stats.demand_hits[level.index()] += 1;
+                // Misses allocate an MSHR; the line installs when the fill
+                // completes (drained by a later access). A blocked consumer
+                // stalls until `ready`, so by the time it proceeds the fill
+                // is done; a switch-on-stall consumer parks and other
+                // contexts merging with the fill pay only the remainder.
+                if level != Level::L1 {
+                    self.mshr.insert(line, (ready, level));
+                }
+            }
+            AccessKind::Store => {
+                // Write-allocate through a store buffer: the store itself
+                // never blocks, and we install immediately (the fill's
+                // timing is hidden behind the store buffer).
+                if level != Level::L1 {
+                    self.install_all(line);
+                }
+            }
+            AccessKind::Prefetch => {
+                self.stats.prefetches += 1;
+                if level == Level::L1 {
+                    // Already as close as it gets: nothing to do.
+                    self.stats.prefetch_useless += 1;
+                } else {
+                    self.mshr.insert(line, (ready, level));
+                }
+            }
+        }
+        Access {
+            level,
+            ready,
+            merged_with_fill: false,
+        }
+    }
+
+    /// Next-line hardware prefetcher: every demand load (hit, merged or
+    /// miss) keeps the following `hw_degree` sequential lines resident or
+    /// in flight — the streamer behaviour that lets it run ahead of a
+    /// sequential consumer.
+    fn train_hw_prefetcher(&mut self, line: u64, now: u64) {
+        for d in 1..=self.hw_degree {
+            let nl = line + d as u64;
+            if self.mshr.contains_key(&nl)
+                || self.l1.contains(nl)
+                || self.l2.contains(nl)
+                || self.l3.contains(nl)
+            {
+                continue;
+            }
+            self.stats.hw_prefetches += 1;
+            self.mshr
+                .insert(nl, (now + self.latencies[Level::Mem.index()], Level::Mem));
+        }
+    }
+
+    /// §4.1 presence probe: returns the level the line currently resides
+    /// in, treating in-flight fills that have completed by `now` as
+    /// resident. Does not perturb LRU state or statistics.
+    pub fn probe(&self, addr: u64, now: u64) -> Level {
+        let line = self.line_of(addr);
+        if self.l1.contains(line) {
+            return Level::L1;
+        }
+        if let Some(&(ready, _)) = self.mshr.get(&line) {
+            if ready <= now {
+                return Level::L1; // installed everywhere on drain
+            }
+        }
+        if self.l2.contains(line) {
+            return Level::L2;
+        }
+        if self.l3.contains(line) {
+            return Level::L3;
+        }
+        Level::Mem
+    }
+
+    /// Invalidates a line everywhere (test/fault-injection hook).
+    pub fn invalidate(&mut self, addr: u64) {
+        let line = self.line_of(addr);
+        self.l1.invalidate(line);
+        self.l2.invalidate(line);
+        self.l3.invalidate(line);
+        self.mshr.remove(&line);
+    }
+
+    /// Empties all levels and MSHRs (cold-cache reset between experiment
+    /// phases).
+    pub fn flush(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        self.l3.clear();
+        self.mshr.clear();
+    }
+
+    /// Number of fills currently in flight.
+    pub fn inflight_fills(&self) -> usize {
+        self.mshr.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> Hierarchy {
+        Hierarchy::new(&MachineConfig::default())
+    }
+
+    #[test]
+    fn cold_access_misses_to_memory_then_hits_l1() {
+        let mut h = hierarchy();
+        let a = h.access(0x1000, 0, AccessKind::DemandLoad);
+        assert_eq!(a.level, Level::Mem);
+        assert_eq!(a.ready, 300);
+        let b = h.access(0x1000, 400, AccessKind::DemandLoad);
+        assert_eq!(b.level, Level::L1);
+        assert_eq!(b.ready, 404);
+    }
+
+    #[test]
+    fn same_line_different_word_hits() {
+        let mut h = hierarchy();
+        h.access(0x1000, 0, AccessKind::DemandLoad);
+        let a = h.access(0x1038, 400, AccessKind::DemandLoad);
+        assert_eq!(a.level, Level::L1, "0x1038 shares the 64B line of 0x1000");
+        let b = h.access(0x1040, 500, AccessKind::DemandLoad);
+        assert_eq!(b.level, Level::Mem, "0x1040 is the next line");
+    }
+
+    #[test]
+    fn prefetch_then_demand_pays_remaining_latency() {
+        let mut h = hierarchy();
+        h.access(0x2000, 0, AccessKind::Prefetch);
+        assert_eq!(h.inflight_fills(), 1);
+        // Demand arrives 100 cycles later; fill completes at 300.
+        let a = h.access(0x2000, 100, AccessKind::DemandLoad);
+        assert!(a.merged_with_fill);
+        assert_eq!(a.ready, 300, "pays only the remaining 200 cycles");
+        assert_eq!(h.stats.demand_merged, 1);
+    }
+
+    #[test]
+    fn prefetch_completes_and_installs() {
+        let mut h = hierarchy();
+        h.access(0x2000, 0, AccessKind::Prefetch);
+        // Long after completion, the demand access is an L1 hit.
+        let a = h.access(0x2000, 1000, AccessKind::DemandLoad);
+        assert_eq!(a.level, Level::L1);
+        assert!(!a.merged_with_fill);
+        assert_eq!(h.inflight_fills(), 0);
+    }
+
+    #[test]
+    fn prefetch_of_resident_line_is_useless() {
+        let mut h = hierarchy();
+        h.access(0x3000, 0, AccessKind::DemandLoad);
+        h.access(0x3000, 400, AccessKind::Prefetch);
+        assert_eq!(h.stats.prefetch_useless, 1);
+        assert_eq!(h.inflight_fills(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_set() {
+        let cfg = MachineConfig::default();
+        let mut h = Hierarchy::new(&cfg);
+        // L1: 64 sets, 8 ways. Addresses that map to set 0 differ by
+        // 64 sets * 64 B = 4096 B.
+        let stride = 64 * 64;
+        // Fill set 0 with 8 distinct lines.
+        for i in 0..8u64 {
+            h.access(i * stride, i * 1000, AccessKind::DemandLoad);
+        }
+        // Touch line 0 to refresh it, then install a 9th line (the fill
+        // completes — and evicts — when a later access drains the MSHR).
+        h.access(0, 20_000, AccessKind::DemandLoad);
+        h.access(8 * stride, 30_000, AccessKind::DemandLoad);
+        h.access(0, 40_000, AccessKind::DemandLoad); // drains the 9th fill
+                                                     // Line 1 was LRU and must be gone from L1; line 0 must remain.
+        assert_eq!(h.probe(0, 50_000), Level::L1);
+        assert_ne!(h.probe(stride, 50_000), Level::L1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let cfg = MachineConfig::default();
+        let mut h = Hierarchy::new(&cfg);
+        let stride = 64 * 64; // L1 set-0 conflict stride
+        for i in 0..9u64 {
+            h.access(i * stride, i * 1000, AccessKind::DemandLoad);
+        }
+        // Line 0 fell out of L1 (9 lines in an 8-way set) but L2 has 1024
+        // sets so these 9 lines do not conflict there.
+        let a = h.access(0, 100_000, AccessKind::DemandLoad);
+        assert_eq!(a.level, Level::L2);
+        assert_eq!(a.ready, 100_000 + cfg.l2.hit_latency);
+    }
+
+    #[test]
+    fn probe_reports_levels_and_is_non_destructive() {
+        let mut h = hierarchy();
+        assert_eq!(h.probe(0x9000, 0), Level::Mem);
+        h.access(0x9000, 0, AccessKind::DemandLoad);
+        assert_eq!(h.probe(0x9000, 400), Level::L1);
+        let stats_before = h.stats;
+        let _ = h.probe(0x9000, 400);
+        assert_eq!(h.stats, stats_before, "probe must not count as access");
+    }
+
+    #[test]
+    fn probe_sees_completed_inflight_fill() {
+        let mut h = hierarchy();
+        h.access(0x9000, 0, AccessKind::Prefetch);
+        assert_eq!(h.probe(0x9000, 10), Level::Mem, "fill not complete yet");
+        assert_eq!(h.probe(0x9000, 300), Level::L1, "fill complete");
+    }
+
+    #[test]
+    fn invalidate_removes_everywhere() {
+        let mut h = hierarchy();
+        h.access(0x4000, 0, AccessKind::DemandLoad);
+        h.invalidate(0x4000);
+        assert_eq!(h.probe(0x4000, 1000), Level::Mem);
+    }
+
+    #[test]
+    fn flush_empties_hierarchy() {
+        let mut h = hierarchy();
+        for i in 0..100u64 {
+            h.access(i * 64, i, AccessKind::DemandLoad);
+        }
+        h.flush();
+        assert_eq!(h.probe(0, 10_000), Level::Mem);
+        assert_eq!(h.inflight_fills(), 0);
+    }
+
+    #[test]
+    fn store_allocates_line() {
+        let mut h = hierarchy();
+        h.access(0x5000, 0, AccessKind::Store);
+        assert_eq!(h.probe(0x5000, 100), Level::L1, "write-allocate");
+    }
+
+    #[test]
+    fn demand_hit_counters_accumulate_per_level() {
+        let mut h = hierarchy();
+        h.access(0x1000, 0, AccessKind::DemandLoad); // mem
+        h.access(0x1000, 400, AccessKind::DemandLoad); // l1
+        h.access(0x1000, 500, AccessKind::DemandLoad); // l1
+        assert_eq!(h.stats.demand_hits[Level::Mem.index()], 1);
+        assert_eq!(h.stats.demand_hits[Level::L1.index()], 2);
+    }
+
+    #[test]
+    fn hw_prefetcher_fetches_next_lines_on_demand_miss() {
+        let cfg = MachineConfig {
+            hw_prefetch_degree: 2,
+            ..MachineConfig::default()
+        };
+        let mut h = Hierarchy::new(&cfg);
+        // One demand miss trains the prefetcher on the next two lines.
+        h.access(0x8000, 0, AccessKind::DemandLoad);
+        assert_eq!(h.stats.hw_prefetches, 2);
+        assert_eq!(h.inflight_fills(), 3);
+        // After the fills complete, the next lines are demand hits.
+        let a = h.access(0x8040, 1000, AccessKind::DemandLoad);
+        assert_eq!(a.level, Level::L1, "next line was hardware-prefetched");
+        let b = h.access(0x8080, 2000, AccessKind::DemandLoad);
+        assert_eq!(b.level, Level::L1);
+        // Resident lines do not retrain redundant prefetches.
+        let before = h.stats.hw_prefetches;
+        h.access(0x8000, 3000, AccessKind::DemandLoad);
+        assert_eq!(h.stats.hw_prefetches, before, "hit issues no prefetch");
+    }
+
+    #[test]
+    fn hw_prefetcher_disabled_by_default() {
+        let mut h = hierarchy();
+        h.access(0x8000, 0, AccessKind::DemandLoad);
+        assert_eq!(h.stats.hw_prefetches, 0);
+        assert_eq!(h.inflight_fills(), 1);
+    }
+
+    #[test]
+    fn level_index_round_trip() {
+        for i in 0..4 {
+            assert_eq!(Level::from_index(i).index(), i);
+        }
+    }
+}

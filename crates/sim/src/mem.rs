@@ -1,0 +1,167 @@
+//! Simulated flat physical memory.
+//!
+//! Memory is sparse and paged: only pages that have been touched are
+//! materialized, so workloads can use widely spread address spaces (which
+//! matters for cache index distribution) without allocating gigabytes on
+//! the host. All accesses are 8-byte-aligned 64-bit words; workload
+//! generators lay out their data structures accordingly.
+
+use std::collections::HashMap;
+
+/// Page size in bytes. 4 KiB, like a real small page.
+pub const PAGE_BYTES: u64 = 4096;
+const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
+
+/// Sparse, paged, word-addressed memory.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+}
+
+/// Error returned by the checked access methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// The address is not 8-byte aligned.
+    Unaligned {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Unaligned { addr } => write!(f, "unaligned 64-bit access at {addr:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Reads the 64-bit word at `addr`. Untouched memory reads as zero.
+    ///
+    /// Returns [`MemError::Unaligned`] if `addr` is not 8-byte aligned.
+    #[inline]
+    pub fn read(&self, addr: u64) -> Result<u64, MemError> {
+        if !addr.is_multiple_of(8) {
+            return Err(MemError::Unaligned { addr });
+        }
+        let page = addr / PAGE_BYTES;
+        let word = ((addr % PAGE_BYTES) / 8) as usize;
+        Ok(self.pages.get(&page).map_or(0, |p| p[word]))
+    }
+
+    /// Writes the 64-bit word at `addr`, materializing the page if needed.
+    ///
+    /// Returns [`MemError::Unaligned`] if `addr` is not 8-byte aligned.
+    #[inline]
+    pub fn write(&mut self, addr: u64, val: u64) -> Result<(), MemError> {
+        if !addr.is_multiple_of(8) {
+            return Err(MemError::Unaligned { addr });
+        }
+        let page = addr / PAGE_BYTES;
+        let word = ((addr % PAGE_BYTES) / 8) as usize;
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]))[word] = val;
+        Ok(())
+    }
+
+    /// Number of materialized pages (for footprint reporting in tests).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident footprint in bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_BYTES
+    }
+
+    /// Bulk-writes a contiguous array of words starting at `base`.
+    ///
+    /// Convenience for workload layout code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is unaligned (layout code bug, not a runtime
+    /// condition).
+    pub fn write_slice(&mut self, base: u64, words: &[u64]) {
+        assert!(base.is_multiple_of(8), "unaligned bulk write at {base:#x}");
+        for (i, &w) in words.iter().enumerate() {
+            self.write(base + 8 * i as u64, w)
+                .expect("aligned by construction");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0).unwrap(), 0);
+        assert_eq!(m.read(0xdead_beef_0000).unwrap(), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut m = Memory::new();
+        m.write(64, 0x1234).unwrap();
+        assert_eq!(m.read(64).unwrap(), 0x1234);
+        // Neighbours unaffected.
+        assert_eq!(m.read(56).unwrap(), 0);
+        assert_eq!(m.read(72).unwrap(), 0);
+    }
+
+    #[test]
+    fn unaligned_access_errors() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(3), Err(MemError::Unaligned { addr: 3 }));
+        assert_eq!(m.write(9, 1), Err(MemError::Unaligned { addr: 9 }));
+    }
+
+    #[test]
+    fn pages_materialize_lazily_and_sparsely() {
+        let mut m = Memory::new();
+        m.write(0, 1).unwrap();
+        m.write(10 * PAGE_BYTES, 2).unwrap();
+        m.write(10 * PAGE_BYTES + 8, 3).unwrap();
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.resident_bytes(), 2 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn page_boundary_words_are_independent() {
+        let mut m = Memory::new();
+        let last_word = PAGE_BYTES - 8;
+        m.write(last_word, 7).unwrap();
+        m.write(PAGE_BYTES, 8).unwrap();
+        assert_eq!(m.read(last_word).unwrap(), 7);
+        assert_eq!(m.read(PAGE_BYTES).unwrap(), 8);
+    }
+
+    #[test]
+    fn write_slice_lays_out_contiguously() {
+        let mut m = Memory::new();
+        m.write_slice(128, &[10, 11, 12]);
+        assert_eq!(m.read(128).unwrap(), 10);
+        assert_eq!(m.read(136).unwrap(), 11);
+        assert_eq!(m.read(144).unwrap(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned bulk write")]
+    fn write_slice_unaligned_panics() {
+        let mut m = Memory::new();
+        m.write_slice(4, &[1]);
+    }
+}

@@ -1,0 +1,312 @@
+//! The SMT (simultaneous multithreading) hardware model.
+//!
+//! Models a hyper-threaded core as *switch-on-event* multithreading: a
+//! hardware context runs until a load would stall, at which point the core
+//! switches to another ready hardware context at zero cost (configurable
+//! via [`MachineConfig::smt_switch`]). This captures the two properties the
+//! paper attributes to SMT (§1):
+//!
+//! * **Bounded concurrency** — at most
+//!   [`MachineConfig::smt_max_contexts`] (2–8) hardware contexts exist, so
+//!   deep miss chains cannot be fully hidden.
+//! * **No latency control** — the hardware multiplexes instruction streams
+//!   for core utilization only; a latency-sensitive context gets no
+//!   preference and its wall-clock time inflates when co-run.
+//!
+//! [`MachineConfig::smt_switch`]: crate::MachineConfig::smt_switch
+//! [`MachineConfig::smt_max_contexts`]: crate::MachineConfig::smt_max_contexts
+
+use crate::context::{Context, Status};
+use crate::isa::Program;
+use crate::machine::{ExecError, Exit, Machine, SwitchKind};
+
+/// Result of an SMT co-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmtReport {
+    /// Cycles elapsed from entry to the last context finishing.
+    pub cycles: u64,
+    /// Contexts that ran to completion.
+    pub completed: usize,
+    /// True if any context hit the per-context step budget.
+    pub step_limited: bool,
+    /// Per-context wall-clock latency (entry order), where finished.
+    pub latencies: Vec<Option<u64>>,
+}
+
+/// Runs `contexts` over `prog` as SMT hardware threads until all finish.
+///
+/// Every context executes the same program image (as SMT threads of one
+/// process would) but carries its own registers, so contexts can be steered
+/// to different work by pre-seeding registers.
+///
+/// # Panics
+///
+/// Panics if more contexts are supplied than the configured hardware
+/// supports ([`MachineConfig::smt_max_contexts`]) — hardware threads cannot
+/// be oversubscribed, that is the paper's point.
+///
+/// [`MachineConfig::smt_max_contexts`]: crate::MachineConfig::smt_max_contexts
+pub fn run_smt(
+    machine: &mut Machine,
+    prog: &Program,
+    contexts: &mut [Context],
+    max_steps_per_ctx: u64,
+) -> Result<SmtReport, ExecError> {
+    assert!(
+        contexts.len() <= machine.cfg.smt_max_contexts,
+        "requested {} SMT contexts but hardware has {}",
+        contexts.len(),
+        machine.cfg.smt_max_contexts
+    );
+    let started_at = machine.now;
+    let prev_mode = machine.switch_on_stall;
+    machine.switch_on_stall = true;
+
+    let n = contexts.len();
+    let quantum = machine.cfg.smt_quantum.max(1);
+    // Wake time per context: the cycle its pending fill arrives.
+    let mut wake = vec![0u64; n];
+    let mut steps_left = vec![max_steps_per_ctx; n];
+    let mut step_limited = false;
+    let mut cursor = 0usize;
+
+    let result = 'outer: loop {
+        // Find the next runnable context, round-robin from the cursor.
+        let mut pick = None;
+        for off in 0..n {
+            let i = (cursor + off) % n;
+            if contexts[i].status == Status::Runnable && wake[i] <= machine.now {
+                pick = Some(i);
+                break;
+            }
+        }
+        let Some(i) = pick else {
+            // Everybody blocked or done. If someone will wake, idle until
+            // then; otherwise we are finished.
+            let next_wake = (0..n)
+                .filter(|&i| contexts[i].status == Status::Runnable)
+                .map(|i| wake[i])
+                .min();
+            match next_wake {
+                Some(w) if w > machine.now => {
+                    machine.advance_idle(w - machine.now);
+                    continue;
+                }
+                Some(_) => continue,
+                None => break Ok(()),
+            }
+        };
+
+        // One fairness quantum: the context runs until it stalls,
+        // finishes, or its issue-slot share expires (real SMT multiplexes
+        // cycle-by-cycle; rotating every `smt_quantum` cycles is the
+        // event-driven approximation).
+        let slice_end = machine.now + quantum;
+        loop {
+            if steps_left[i] == 0 {
+                step_limited = true;
+                contexts[i].status = Status::Faulted;
+                cursor = (i + 1) % n;
+                break;
+            }
+            let step = match machine.step(prog, &mut contexts[i]) {
+                Ok(s) => s,
+                Err(e) => break 'outer Err(e),
+            };
+            steps_left[i] -= 1;
+            match step {
+                None | Some(Exit::Yielded { .. }) => {
+                    // Hardware is oblivious to software yields; it only
+                    // rotates when the quantum expires and somebody else
+                    // can use the slot.
+                    let other_ready = n > 1
+                        && (0..n).any(|j| {
+                            j != i
+                                && contexts[j].status == Status::Runnable
+                                && wake[j] <= machine.now
+                        });
+                    if machine.now >= slice_end && other_ready {
+                        machine.charge_switch(SwitchKind::Smt);
+                        cursor = (i + 1) % n;
+                        break;
+                    }
+                }
+                Some(Exit::Stalled { ready }) => {
+                    wake[i] = ready;
+                    machine.charge_switch(SwitchKind::Smt);
+                    cursor = (i + 1) % n;
+                    break;
+                }
+                Some(Exit::Done) => {
+                    cursor = (i + 1) % n;
+                    break;
+                }
+                Some(Exit::StepLimit) => unreachable!("step() never reports StepLimit"),
+            }
+        }
+    };
+    machine.switch_on_stall = prev_mode;
+    result?;
+
+    Ok(SmtReport {
+        cycles: machine.now - started_at,
+        completed: contexts.iter().filter(|c| c.status == Status::Done).count(),
+        step_limited,
+        latencies: contexts.iter().map(|c| c.stats.latency()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::isa::{AluOp, ProgramBuilder, Reg};
+
+    /// A pointer-chase program: r0 holds the current node address; each
+    /// node's word 0 is the next address; terminates when next == 0.
+    fn chase_program() -> Program {
+        let mut b = ProgramBuilder::new("chase");
+        let cur = Reg(0);
+        let top = b.label();
+        let out = b.label();
+        b.bind(top);
+        b.load(cur, cur, 0);
+        b.branch(crate::isa::Cond::Eqz, cur, out);
+        b.jump(top);
+        b.bind(out);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    /// Lays out an n-node chain with nodes one page apart (all cold
+    /// misses) starting at `base` and returns the head address.
+    fn lay_chain(m: &mut Machine, base: u64, n: u64) -> u64 {
+        for i in 0..n {
+            let addr = base + i * 4096;
+            let next = if i + 1 == n { 0 } else { base + (i + 1) * 4096 };
+            m.mem.write(addr, next).unwrap();
+        }
+        base
+    }
+
+    #[test]
+    fn two_contexts_overlap_misses() {
+        let prog = chase_program();
+
+        // Solo run: one context, all stalls exposed.
+        let mut m1 = Machine::new(MachineConfig::default());
+        let head = lay_chain(&mut m1, 0x10_0000, 20);
+        let mut solo = Context::new(0);
+        solo.set_reg(Reg(0), head);
+        let r1 = run_smt(&mut m1, &prog, std::slice::from_mut(&mut solo), 10_000).unwrap();
+
+        // Two hardware threads chasing two independent chains.
+        let mut m2 = Machine::new(MachineConfig::default());
+        let h1 = lay_chain(&mut m2, 0x10_0000, 20);
+        let h2 = lay_chain(&mut m2, 0x90_0000, 20);
+        let mut a = Context::new(0);
+        a.set_reg(Reg(0), h1);
+        let mut b = Context::new(1);
+        b.set_reg(Reg(0), h2);
+        let mut both = [a, b];
+        let r2 = run_smt(&mut m2, &prog, &mut both, 10_000).unwrap();
+
+        assert_eq!(r1.completed, 1);
+        assert_eq!(r2.completed, 2);
+        // Two chains of equal length co-run must take far less than 2x the
+        // solo time: misses overlap.
+        assert!(
+            r2.cycles < r1.cycles * 3 / 2,
+            "smt-2 {} vs solo {}",
+            r2.cycles,
+            r1.cycles
+        );
+    }
+
+    #[test]
+    fn more_contexts_reduce_idle() {
+        let prog = chase_program();
+        let mut idle = Vec::new();
+        for n in [1usize, 2, 4, 8] {
+            let mut m = Machine::new(MachineConfig::default());
+            let mut ctxs: Vec<Context> = (0..n)
+                .map(|i| {
+                    let head = lay_chain(&mut m, 0x10_0000 + (i as u64) * 0x80_0000, 16);
+                    let mut c = Context::new(i);
+                    c.set_reg(Reg(0), head);
+                    c
+                })
+                .collect();
+            run_smt(&mut m, &prog, &mut ctxs, 100_000).unwrap();
+            idle.push(m.counters.idle_cycles as f64 / m.now as f64);
+        }
+        // Idle fraction must decrease monotonically as contexts are added:
+        // a dependent chase has nothing else to overlap with.
+        for w in idle.windows(2) {
+            assert!(w[1] < w[0], "idle fractions not decreasing: {idle:?}");
+        }
+        // Even 8 contexts cannot eliminate idle for a pure chase whose
+        // compute-per-miss is tiny: this is the "2-8 threads insufficient"
+        // claim.
+        assert!(
+            idle[3] > 0.3,
+            "8-way SMT unexpectedly hid a dependent chase: idle {}",
+            idle[3]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SMT contexts")]
+    fn oversubscription_panics() {
+        let mut m = Machine::new(MachineConfig::default());
+        let prog = chase_program();
+        let mut ctxs: Vec<Context> = (0..9).map(Context::new).collect();
+        let _ = run_smt(&mut m, &prog, &mut ctxs, 100);
+    }
+
+    #[test]
+    fn smt_ignores_software_yields() {
+        let mut b = ProgramBuilder::new("y");
+        b.imm(Reg(0), 1);
+        b.yield_manual();
+        b.alu(AluOp::Add, Reg(0), Reg(0), Reg(0), 1);
+        b.halt();
+        let prog = b.finish().unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        let mut c = Context::new(0);
+        let r = run_smt(&mut m, &prog, std::slice::from_mut(&mut c), 100).unwrap();
+        assert_eq!(r.completed, 1);
+        assert_eq!(c.reg(Reg(0)), 2);
+    }
+
+    #[test]
+    fn step_budget_faults_runaway_context() {
+        let mut b = ProgramBuilder::new("inf");
+        let top = b.label();
+        b.bind(top);
+        b.jump(top);
+        let prog = b.finish().unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        let mut c = Context::new(0);
+        let r = run_smt(&mut m, &prog, std::slice::from_mut(&mut c), 100).unwrap();
+        assert!(r.step_limited);
+        assert_eq!(r.completed, 0);
+    }
+
+    #[test]
+    fn latencies_reported_per_context() {
+        let prog = chase_program();
+        let mut m = Machine::new(MachineConfig::default());
+        let h1 = lay_chain(&mut m, 0x10_0000, 4);
+        let h2 = lay_chain(&mut m, 0x90_0000, 12);
+        let mut a = Context::new(0);
+        a.set_reg(Reg(0), h1);
+        let mut b = Context::new(1);
+        b.set_reg(Reg(0), h2);
+        let mut ctxs = [a, b];
+        let r = run_smt(&mut m, &prog, &mut ctxs, 10_000).unwrap();
+        let l0 = r.latencies[0].unwrap();
+        let l1 = r.latencies[1].unwrap();
+        assert!(l1 > l0, "longer chain has higher latency");
+    }
+}

@@ -1,0 +1,164 @@
+//! Execution tracing: a bounded ring of recently executed instructions.
+//!
+//! Debugging an instrumented binary usually starts with "what did the
+//! machine actually run right before this?". The tracer records the last
+//! `capacity` `(cycle, context id, pc)` steps when enabled; the overhead
+//! is one ring write per instruction, and zero when disabled (the default).
+
+use std::collections::VecDeque;
+
+/// One executed-instruction record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle at which the instruction began executing.
+    pub cycle: u64,
+    /// Executing context id.
+    pub ctx: usize,
+    /// Program counter.
+    pub pc: usize,
+}
+
+/// A bounded execution trace.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    ring: VecDeque<TraceEntry>,
+    capacity: usize,
+    /// Total steps ever recorded (not bounded by capacity).
+    pub recorded: u64,
+}
+
+impl Trace {
+    /// Creates a tracer holding the most recent `capacity` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Trace {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// Records one step.
+    #[inline]
+    pub fn record(&mut self, cycle: u64, ctx: usize, pc: usize) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceEntry { cycle, ctx, pc });
+        self.recorded += 1;
+    }
+
+    /// The buffered entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.ring.iter()
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Returns `true` when nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Renders the trace against a program, one line per step.
+    pub fn render(&self, prog: &crate::isa::Program) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for e in &self.ring {
+            let inst = prog
+                .insts
+                .get(e.pc)
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "<out of range>".into());
+            let _ = writeln!(s, "[{:>10}] ctx{} {:>5}: {}", e.cycle, e.ctx, e.pc, inst);
+        }
+        s
+    }
+
+    /// Clears the buffer (lifetime counter survives).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(i as u64 * 10, 0, i);
+        }
+        let pcs: Vec<usize> = t.entries().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![2, 3, 4]);
+        assert_eq!(t.recorded, 5);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn render_resolves_instructions() {
+        let mut b = ProgramBuilder::new("t");
+        b.imm(Reg(0), 7);
+        b.halt();
+        let p = b.finish().unwrap();
+        let mut t = Trace::new(4);
+        t.record(0, 1, 0);
+        t.record(1, 1, 1);
+        t.record(2, 1, 99);
+        let out = t.render(&p);
+        assert!(out.contains("imm"));
+        assert!(out.contains("halt"));
+        assert!(out.contains("<out of range>"));
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_count() {
+        let mut t = Trace::new(2);
+        t.record(0, 0, 0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.recorded, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = Trace::new(0);
+    }
+
+    #[test]
+    fn machine_records_when_enabled() {
+        use crate::{Context, Machine, MachineConfig};
+        let mut b = ProgramBuilder::new("t");
+        b.imm(Reg(0), 1);
+        b.imm(Reg(1), 2);
+        b.halt();
+        let p = b.finish().unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        let mut ctx = Context::new(7);
+        m.run(&p, &mut ctx, 10).unwrap();
+        assert!(m.trace.is_none(), "tracing is off by default");
+
+        let mut m = Machine::new(MachineConfig::default());
+        m.trace = Some(Trace::new(16));
+        let mut ctx = Context::new(7);
+        m.run(&p, &mut ctx, 10).unwrap();
+        let t = m.trace.as_ref().unwrap();
+        assert_eq!(t.recorded, 3);
+        let e: Vec<_> = t.entries().collect();
+        assert_eq!(e[0].pc, 0);
+        assert_eq!(e[2].pc, 2);
+        assert_eq!(e[0].ctx, 7);
+    }
+}

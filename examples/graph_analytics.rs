@@ -1,0 +1,108 @@
+//! Graph analytics: hiding BFS's visited-array misses.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+//!
+//! The paper's introduction singles out data analytics as the application
+//! class losing the most cycles to memory stalls. BFS is its canonical
+//! irregular kernel: the visited-array probe lands on a random vertex per
+//! edge, the frontier queue cycles through memory, and the edge lists
+//! stream. This example runs the full pipeline on BFS over eight
+//! independent graph partitions and reports what the profile found and
+//! what hiding bought.
+
+use reach::prelude::*;
+use reach_core::CycleSummary;
+use reach_workloads::{build_bfs, BfsParams, VISITED_LOAD_PC};
+
+// BFS is also the honest hard case: it does only ~10 cycles of real work
+// per memory probe, so every hidden miss costs one coroutine switch —
+// the switch-bound regime where §3.2's liveness/coalescing and §4.1's
+// hardware support matter most. The output below shows the mechanism
+// still winning over no-hiding, and free-switch SMT doing well at low
+// context counts (it runs out of contexts, not switches — see T4).
+
+const N: usize = 4;
+
+fn setup() -> (Machine, BuiltWorkload) {
+    let mut m = Machine::new(MachineConfig::default());
+    let mut alloc = AddrAlloc::new(0x10_0000);
+    // Sized so one partition already overflows L3 (4 MiB visited + 16 MiB
+    // edges): the profile then sees the same DRAM-bound visited probes
+    // production would. (Profiles collected on a cache-resident toy input
+    // would under-estimate the miss cost — profile representativeness is
+    // part of the PGO deal.)
+    let params = BfsParams {
+        vertices: 1 << 19,
+        degree: 4,
+        seed: 0x9af,
+    };
+    let w = build_bfs(&mut m.mem, &mut alloc, params, N + 1);
+    (m, w)
+}
+
+fn main() {
+    let cfg = MachineConfig::default();
+
+    // Baseline.
+    let (mut m, w) = setup();
+    let mut ctxs = w.make_contexts();
+    ctxs.truncate(N);
+    run_sequential(&mut m, &w.prog, &mut ctxs, 1 << 28).unwrap();
+    println!("BFS over {N} partitions, no hiding:");
+    println!("  {}", CycleSummary::from_counters(&m.counters, &cfg));
+
+    // Pipeline.
+    let (mut m, w) = setup();
+    let mut prof = vec![w.instances[N].make_context(99)];
+    let built = pgo_pipeline(&mut m, &w.prog, &mut prof, &PipelineOptions::default()).unwrap();
+    println!("\nprofile findings:");
+    for d in &built.primary_report.decisions {
+        let tag = if d.pc == VISITED_LOAD_PC {
+            " <- visited[v]"
+        } else {
+            ""
+        };
+        println!(
+            "  load @{:>2}: p(miss)={:.2} gain={:>5.1} cost={:>4.1} -> {}{}",
+            d.pc,
+            d.likelihood,
+            d.gain,
+            d.cost,
+            if d.instrument { "instrument" } else { "skip" },
+            tag
+        );
+    }
+
+    // Interleaved run over the instrumented binary.
+    let (mut m, w) = setup();
+    let mut ctxs: Vec<Context> = (0..N).map(|i| w.instances[i].make_context(i)).collect();
+    let rep = run_interleaved(
+        &mut m,
+        &built.prog,
+        &mut ctxs,
+        &InterleaveOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(rep.completed, N);
+    for (i, c) in ctxs.iter().enumerate() {
+        w.instances[i].assert_checksum(c);
+    }
+    println!("\ninstrumented, {N} coroutine partitions interleaved:");
+    println!("  {}", CycleSummary::from_counters(&m.counters, &cfg));
+    println!("  all BFS checksums (discovery-order vertex sums) verified.");
+
+    // SMT for contrast: free switches, bounded contexts.
+    let (mut m, w) = setup();
+    let mut ctxs: Vec<Context> = (0..N).map(|i| w.instances[i].make_context(i)).collect();
+    run_smt(&mut m, &w.prog, &mut ctxs, 1 << 28).unwrap();
+    println!("\nSMT-{N} for contrast (zero-cost switches, hardware-capped contexts):");
+    println!("  {}", CycleSummary::from_counters(&m.counters, &cfg));
+    println!(
+        "\ntakeaway: with ~10 busy cycles per probe BFS is switch-bound — the\n\
+         mechanism still converts most stalls into useful overlap, and the\n\
+         switch column is exactly the overhead §3.2's optimizations and\n\
+         §4.1's conditional-yield hardware aim at."
+    );
+}

@@ -1,0 +1,82 @@
+//! Offline PGO: profile in one "process", instrument in another.
+//!
+//! ```sh
+//! cargo run --release --example offline_pgo
+//! ```
+//!
+//! Production FDO pipelines (AutoFDO, BOLT) separate collection from
+//! rewriting: profiles are gathered on live traffic, shipped as files,
+//! and consumed by a later build step. This example round-trips the
+//! profile through JSON on disk between two independently constructed
+//! machines, then verifies the binary instrumented from the *loaded*
+//! profile is identical to one built in-process.
+
+use reach::prelude::*;
+use reach_profile::collect;
+
+fn setup() -> (Machine, BuiltWorkload) {
+    let mut m = Machine::new(MachineConfig::default());
+    let mut alloc = AddrAlloc::new(0x10_0000);
+    let params = ChaseParams {
+        nodes: 1024,
+        hops: 1024,
+        node_stride: 4096,
+        work_per_hop: 20,
+        work_insts: 1,
+        seed: 0x0ff,
+    };
+    let w = build_chase(&mut m.mem, &mut alloc, params, 2);
+    (m, w)
+}
+
+fn main() {
+    let cfg = MachineConfig::default();
+
+    // --- "production host": collect and persist the profile. -----------
+    let (mut m, w) = setup();
+    let mut ctxs = vec![w.instances[1].make_context(9)];
+    let (profile, cost) =
+        collect(&mut m, &w.prog, &mut ctxs, &CollectorConfig::default()).expect("profiling run");
+    let path = std::env::temp_dir().join("reach_offline_profile.json");
+    std::fs::write(&path, profile.to_json()).expect("write profile");
+    println!(
+        "collected {} samples at {:.2}% overhead -> {}",
+        profile.total_samples,
+        cost.overhead() * 100.0,
+        path.display()
+    );
+
+    // --- "build host": load the profile and instrument. ----------------
+    let loaded = Profile::from_json(&std::fs::read_to_string(&path).expect("read profile"))
+        .expect("parse profile");
+    let (_, w2) = setup();
+    let smoothed = smooth_profile(&loaded, &w2.prog);
+    let (instrumented, report) =
+        instrument_primary(&w2.prog, &smoothed, &cfg, &PrimaryOptions::default())
+            .expect("primary pass");
+    println!(
+        "instrumented from the loaded profile: {} sites selected, {} yields",
+        report.sites_selected(),
+        report.yields_inserted
+    );
+
+    // Cross-check: in-process instrumentation produces the same binary.
+    let in_process = smooth_profile(&profile, &w2.prog);
+    let (reference, _) =
+        instrument_primary(&w2.prog, &in_process, &cfg, &PrimaryOptions::default())
+            .expect("primary pass");
+    assert_eq!(
+        instrumented, reference,
+        "file round trip must not change a single instruction"
+    );
+    println!("round-trip check passed: byte-identical instrumentation.");
+
+    // And the binary still runs correctly on a third fresh machine.
+    let (mut m3, w3) = setup();
+    let mut ctx = w3.instances[0].make_context(0);
+    m3.run_to_completion(&instrumented, &mut ctx, 1 << 24)
+        .expect("run");
+    w3.instances[0].assert_checksum(&ctx);
+    println!("instrumented binary verified against the workload checksum.");
+    let _ = std::fs::remove_file(&path);
+}

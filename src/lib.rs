@@ -1,0 +1,77 @@
+//! # reach — hiding 10–100 ns CPU-stall events in software
+//!
+//! A full reproduction of *"Out of Hand for Hardware? Within Reach for
+//! Software!"* (HotOS 2023): profile-guided coroutine yield
+//! instrumentation that hides L2/L3-cache-miss-class events, plus every
+//! substrate the proposal depends on and every baseline it is compared
+//! against.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`reach_sim`] | deterministic substrate: micro-IR ISA, in-order core with OoO-lite window, L1/L2/L3+DRAM, PEBS/LBR, SMT model |
+//! | [`reach_profile`] | sample aggregation, stall attribution, LBR block timing, profile accuracy scoring |
+//! | [`reach_instrument`] | binary pipeline: CFG, liveness, dependence, gain/cost model, primary + scavenger passes |
+//! | [`reach_core`] | the mechanism end-to-end: PGO pipeline, interleaving executors, dual-mode asymmetric concurrency, scheduler integration, §4.1 what-if |
+//! | [`reach_workloads`] | deterministic checksum-verified workload generators |
+//! | [`reach_baselines`] | no-hiding, CoroBase-style manual yields, prefetch-only, SMT, OS threads |
+//! | [`reach_coro`] | host-runnable stackless coroutines with real prefetch interleaving |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reach::prelude::*;
+//!
+//! // 1. Lay out a memory-bound workload on a fresh simulated machine.
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let mut alloc = AddrAlloc::new(0x10_0000);
+//! let params = ChaseParams { nodes: 256, hops: 256, node_stride: 4096,
+//!                            ..ChaseParams::default() };
+//! let w = build_chase(&mut machine.mem, &mut alloc, params, 3);
+//!
+//! // 2. Profile + instrument (the paper's three-step pipeline).
+//! let mut prof = vec![w.instances[2].make_context(9)];
+//! let built = pgo_pipeline(&mut machine, &w.prog, &mut prof,
+//!                          &PipelineOptions::default()).unwrap();
+//!
+//! // 3. Interleave coroutines over the instrumented binary.
+//! let mut ctxs = vec![w.instances[0].make_context(0),
+//!                     w.instances[1].make_context(1)];
+//! let report = run_interleaved(&mut machine, &built.prog, &mut ctxs,
+//!                              &InterleaveOptions::default()).unwrap();
+//! assert_eq!(report.completed, 2);
+//! w.instances[0].assert_checksum(&ctxs[0]);
+//! ```
+
+pub use reach_baselines;
+pub use reach_core;
+pub use reach_coro;
+pub use reach_instrument;
+pub use reach_profile;
+pub use reach_sim;
+pub use reach_workloads;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use reach_baselines::{instrument_manual, instrument_prefetch_only, run_sequential};
+    pub use reach_core::{
+        make_conditional, percentile, pgo_pipeline, run_dual_mode, run_interleaved, run_task_queue,
+        yield_census, CycleSummary, DualModeOptions, InstrumentedBinary, InterleaveOptions,
+        PipelineOptions, SchedPolicy, SwitchMode, Task,
+    };
+    pub use reach_coro::{prefetch_read, Coro, CoroState, GroupExecutor};
+    pub use reach_instrument::{
+        instrument_primary, instrument_scavenger, smooth_profile, Policy, PrimaryOptions,
+        ScavengerOptions,
+    };
+    pub use reach_profile::{collect, score, CollectorConfig, Periods, Profile};
+    pub use reach_sim::{
+        run_smt, Context, Machine, MachineConfig, Mode, Program, ProgramBuilder, Reg,
+    };
+    pub use reach_workloads::{
+        build_bst, build_chase, build_hash, build_multi_chase, build_scan, build_search,
+        build_tiered, build_zipf_kv, AddrAlloc, BstParams, BuiltWorkload, ChaseParams, HashParams,
+        MultiChaseParams, ScanParams, SearchParams, TieredParams, ZipfKvParams, CHECKSUM_REG,
+    };
+}

@@ -1,0 +1,164 @@
+//! Cross-mechanism ordering invariants: the qualitative relationships the
+//! paper asserts must hold on this substrate, end to end.
+
+use reach::prelude::*;
+use reach_sim::Memory;
+
+const N: usize = 8;
+
+fn params() -> MultiChaseParams {
+    // Four independent chains per instance: compute-light, miss-heavy,
+    // with the adjacent-load shape that lets coalescing amortize switches
+    // (the regime where software contexts decisively beat 8-way SMT).
+    MultiChaseParams {
+        chains: 4,
+        nodes: 256,
+        hops: 256,
+        node_stride: 256,
+        seed: 0x0dd,
+    }
+}
+
+fn build(mem: &mut Memory, alloc: &mut AddrAlloc) -> BuiltWorkload {
+    build_multi_chase(mem, alloc, params(), N + 1)
+}
+
+fn fresh() -> (Machine, BuiltWorkload) {
+    let mut m = Machine::new(MachineConfig::default());
+    let mut alloc = AddrAlloc::new(0x10_0000);
+    let w = build(&mut m.mem, &mut alloc);
+    (m, w)
+}
+
+fn instrumented() -> reach_core::InstrumentedBinary {
+    let (mut m, w) = fresh();
+    let mut prof = vec![w.instances[N].make_context(99)];
+    pgo_pipeline(&mut m, &w.prog, &mut prof, &PipelineOptions::default()).unwrap()
+}
+
+#[test]
+fn efficiency_ordering_matches_the_paper() {
+    // Sequential (no hiding).
+    let (mut m, w) = fresh();
+    let mut ctxs = w.make_contexts();
+    ctxs.truncate(N);
+    run_sequential(&mut m, &w.prog, &mut ctxs, 1 << 26).unwrap();
+    let seq = m.counters.cpu_efficiency();
+
+    // SMT-8.
+    let (mut m, w) = fresh();
+    let mut ctxs: Vec<Context> = (0..N).map(|i| w.instances[i].make_context(i)).collect();
+    run_smt(&mut m, &w.prog, &mut ctxs, 1 << 26).unwrap();
+    let smt = m.counters.cpu_efficiency();
+
+    // Coroutines + PGO.
+    let built = instrumented();
+    let (mut m, w) = fresh();
+    let mut ctxs: Vec<Context> = (0..N).map(|i| w.instances[i].make_context(i)).collect();
+    run_interleaved(
+        &mut m,
+        &built.prog,
+        &mut ctxs,
+        &InterleaveOptions::default(),
+    )
+    .unwrap();
+    let coro = m.counters.cpu_efficiency();
+
+    // OS threads over the same binary.
+    let (mut m, w) = fresh();
+    let mut ctxs: Vec<Context> = (0..N).map(|i| w.instances[i].make_context(i)).collect();
+    let topts = InterleaveOptions {
+        switch: SwitchMode::Thread,
+        ..InterleaveOptions::default()
+    };
+    run_interleaved(&mut m, &built.prog, &mut ctxs, &topts).unwrap();
+    let threads = m.counters.cpu_efficiency();
+
+    // Prefetch-only (no yielding) on the chain-0 load: without a yield
+    // there is nothing to overlap a dependent hop with.
+    let (mut m, w) = fresh();
+    let (pf_prog, _) =
+        instrument_prefetch_only(&w.prog, &[reach_workloads::chain_load_pc(0)]).unwrap();
+    let mut ctxs: Vec<Context> = (0..N).map(|i| w.instances[i].make_context(i)).collect();
+    run_sequential(&mut m, &pf_prog, &mut ctxs, 1 << 26).unwrap();
+    let pf = m.counters.cpu_efficiency();
+
+    // The paper's ordering on a 100 ns-event workload:
+    assert!(
+        smt > seq * 2.0,
+        "SMT-8 must clearly beat sequential: {smt} vs {seq}"
+    );
+    assert!(
+        coro > smt,
+        "coroutines+PGO must beat SMT-8: {coro} vs {smt}"
+    );
+    assert!(
+        coro > threads * 5.0,
+        "1 us thread switches cannot compete: {coro} vs {threads}"
+    );
+    assert!(
+        pf < seq * 1.5,
+        "prefetch-only barely helps a dependent chase: {pf} vs {seq}"
+    );
+}
+
+#[test]
+fn liveness_and_coalescing_never_hurt() {
+    let run_with = |live: bool, coal: bool| {
+        let opts = PipelineOptions {
+            primary: PrimaryOptions {
+                use_liveness: live,
+                coalesce: coal,
+                ..PrimaryOptions::default()
+            },
+            ..PipelineOptions::default()
+        };
+        let (mut m, w) = fresh();
+        let mut prof = vec![w.instances[N].make_context(99)];
+        let built = pgo_pipeline(&mut m, &w.prog, &mut prof, &opts).unwrap();
+        let (mut m, w) = fresh();
+        let mut ctxs: Vec<Context> = (0..N).map(|i| w.instances[i].make_context(i)).collect();
+        run_interleaved(
+            &mut m,
+            &built.prog,
+            &mut ctxs,
+            &InterleaveOptions::default(),
+        )
+        .unwrap();
+        for (i, c) in ctxs.iter().enumerate() {
+            w.instances[i].assert_checksum(c);
+        }
+        m.counters.cpu_efficiency()
+    };
+    let none = run_with(false, false);
+    let live = run_with(true, false);
+    let both = run_with(true, true);
+    assert!(live >= none, "liveness regressed: {live} < {none}");
+    assert!(both >= live * 0.99, "coalescing regressed: {both} < {live}");
+}
+
+#[test]
+fn smt_respects_hardware_context_limit_while_coroutines_do_not() {
+    let built = instrumented();
+    // 8+ coroutines work fine.
+    let (mut m, w) = fresh();
+    let mut ctxs: Vec<Context> = (0..N).map(|i| w.instances[i].make_context(i)).collect();
+    let rep = run_interleaved(
+        &mut m,
+        &built.prog,
+        &mut ctxs,
+        &InterleaveOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(rep.completed, N);
+
+    // 9 SMT contexts panic: hardware cannot be oversubscribed.
+    let result = std::panic::catch_unwind(|| {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut alloc = AddrAlloc::new(0x10_0000);
+        let w = build_multi_chase(&mut m.mem, &mut alloc, params(), 9);
+        let mut ctxs: Vec<Context> = (0..9).map(|i| w.instances[i].make_context(i)).collect();
+        let _ = run_smt(&mut m, &w.prog, &mut ctxs, 1000);
+    });
+    assert!(result.is_err(), "SMT oversubscription must be rejected");
+}

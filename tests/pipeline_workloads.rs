@@ -1,0 +1,264 @@
+//! End-to-end integration: the full PGO pipeline over every workload
+//! family, executed under interleaving with register poisoning, verified
+//! by checksums, and required to actually *help*.
+
+use reach::prelude::*;
+use reach_sim::Memory;
+
+const N: usize = 6;
+
+type WorkloadBuilder = Box<dyn Fn(&mut Memory, &mut AddrAlloc) -> BuiltWorkload>;
+
+struct Family {
+    name: &'static str,
+    build: WorkloadBuilder,
+    /// Minimum required efficiency improvement factor over the unhidden
+    /// sequential run (1.0 = no requirement beyond not regressing badly).
+    min_gain: f64,
+}
+
+fn families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "chase",
+            build: Box::new(|mem, alloc| {
+                build_chase(
+                    mem,
+                    alloc,
+                    ChaseParams {
+                        nodes: 512,
+                        hops: 512,
+                        node_stride: 4096,
+                        work_per_hop: 20,
+                        work_insts: 1,
+                        seed: 1,
+                    },
+                    N + 1,
+                )
+            }),
+            min_gain: 2.0,
+        },
+        Family {
+            name: "multi_chase",
+            build: Box::new(|mem, alloc| {
+                build_multi_chase(
+                    mem,
+                    alloc,
+                    MultiChaseParams {
+                        chains: 4,
+                        nodes: 256,
+                        hops: 256,
+                        node_stride: 256,
+                        seed: 2,
+                    },
+                    N + 1,
+                )
+            }),
+            min_gain: 3.0,
+        },
+        Family {
+            name: "hash",
+            build: Box::new(|mem, alloc| {
+                build_hash(
+                    mem,
+                    alloc,
+                    HashParams {
+                        capacity: 1 << 18,
+                        occupied: 120_000,
+                        lookups: 1024,
+                        hit_fraction: 0.8,
+                        seed: 3,
+                    },
+                    N + 1,
+                )
+            }),
+            min_gain: 1.5,
+        },
+        Family {
+            name: "search",
+            build: Box::new(|mem, alloc| {
+                build_search(
+                    mem,
+                    alloc,
+                    SearchParams {
+                        array_len: 1 << 19,
+                        searches: 512,
+                        seed: 4,
+                    },
+                    N + 1,
+                )
+            }),
+            min_gain: 1.3,
+        },
+        Family {
+            name: "zipf_kv",
+            build: Box::new(|mem, alloc| {
+                build_zipf_kv(
+                    mem,
+                    alloc,
+                    ZipfKvParams {
+                        table_entries: 1 << 19,
+                        lookups: 2048,
+                        theta: 0.6,
+                        seed: 5,
+                    },
+                    N + 1,
+                )
+            }),
+            min_gain: 1.3,
+        },
+        Family {
+            name: "bst",
+            build: Box::new(|mem, alloc| {
+                build_bst(
+                    mem,
+                    alloc,
+                    BstParams {
+                        keys: 1 << 15,
+                        lookups: 512,
+                        node_stride: 64,
+                        seed: 7,
+                    },
+                    N + 1,
+                )
+            }),
+            min_gain: 1.3,
+        },
+        Family {
+            name: "scan",
+            build: Box::new(|mem, alloc| {
+                build_scan(
+                    mem,
+                    alloc,
+                    ScanParams {
+                        words: 1 << 14,
+                        passes: 2,
+                        seed: 6,
+                    },
+                    N + 1,
+                )
+            }),
+            // Spatially local: hiding helps little; must not hurt much.
+            min_gain: 0.8,
+        },
+    ]
+}
+
+fn fresh(build: &dyn Fn(&mut Memory, &mut AddrAlloc) -> BuiltWorkload) -> (Machine, BuiltWorkload) {
+    let mut m = Machine::new(MachineConfig::default());
+    let mut alloc = AddrAlloc::new(0x10_0000);
+    let w = build(&mut m.mem, &mut alloc);
+    (m, w)
+}
+
+#[test]
+fn pipeline_helps_every_family_and_preserves_checksums() {
+    for fam in families() {
+        // Baseline: unhidden sequential.
+        let (mut m, w) = fresh(&fam.build);
+        let mut ctxs = w.make_contexts();
+        ctxs.truncate(N);
+        run_sequential(&mut m, &w.prog, &mut ctxs, 1 << 26).unwrap();
+        for (i, c) in ctxs.iter().enumerate() {
+            w.instances[i].assert_checksum(c);
+        }
+        let base_eff = m.counters.cpu_efficiency();
+
+        // Pipeline (profiles the spare instance).
+        let (mut pm, pw) = fresh(&fam.build);
+        let mut prof = vec![pw.instances[N].make_context(99)];
+        let built =
+            pgo_pipeline(&mut pm, &pw.prog, &mut prof, &PipelineOptions::default()).unwrap();
+
+        // Interleave with poisoning: checksums prove liveness soundness.
+        let (mut m, w) = fresh(&fam.build);
+        let mut ctxs: Vec<Context> = (0..N).map(|i| w.instances[i].make_context(i)).collect();
+        let opts = InterleaveOptions {
+            poison_unsaved: true,
+            ..InterleaveOptions::default()
+        };
+        let rep = run_interleaved(&mut m, &built.prog, &mut ctxs, &opts).unwrap();
+        assert_eq!(rep.completed, N, "{}: instances must finish", fam.name);
+        for (i, c) in ctxs.iter().enumerate() {
+            assert!(
+                w.instances[i].checksum_ok(c),
+                "{}: instance {i} checksum corrupted",
+                fam.name
+            );
+        }
+        let inst_eff = m.counters.cpu_efficiency();
+        assert!(
+            inst_eff >= base_eff * fam.min_gain,
+            "{}: efficiency {inst_eff:.3} < {:.1}x of baseline {base_eff:.3}",
+            fam.name,
+            fam.min_gain
+        );
+    }
+}
+
+#[test]
+fn pipeline_reports_are_consistent() {
+    let fam = &families()[0];
+    let (mut pm, pw) = fresh(&fam.build);
+    let mut prof = vec![pw.instances[N].make_context(99)];
+    let built = pgo_pipeline(&mut pm, &pw.prog, &mut prof, &PipelineOptions::default()).unwrap();
+
+    // Origins are either None (inserted) or valid original PCs.
+    assert_eq!(built.origin.len(), built.prog.len());
+    for (pc, o) in built.origin.iter().enumerate() {
+        match o {
+            None => assert!(
+                matches!(
+                    built.prog.insts[pc],
+                    reach_sim::Inst::Yield { .. } | reach_sim::Inst::Prefetch { .. }
+                ),
+                "inserted instruction at {pc} has unexpected kind"
+            ),
+            Some(opc) => assert!(*opc < pw.prog.len()),
+        }
+    }
+    // Prefetch count matches the report; yields match the census.
+    let census = yield_census(&built.prog);
+    assert_eq!(
+        census.primary, built.primary_report.yields_inserted,
+        "primary yields"
+    );
+    if let Some(s) = &built.scavenger_report {
+        assert_eq!(census.scavenger, s.yields_inserted);
+    }
+    // The instrumented program still validates.
+    built.prog.validate().unwrap();
+}
+
+#[test]
+fn dual_mode_on_real_workload_keeps_primary_fast() {
+    let fam = &families()[0]; // chase
+    let (mut pm, pw) = fresh(&fam.build);
+    let mut prof = vec![pw.instances[N].make_context(99)];
+    let built = pgo_pipeline(&mut pm, &pw.prog, &mut prof, &PipelineOptions::default()).unwrap();
+
+    // Solo latency.
+    let (mut m, w) = fresh(&fam.build);
+    let solo = w.run_solo(&mut m, 0, 1 << 24).stats.latency().unwrap();
+
+    // Dual mode with 4 scavengers.
+    let (mut m, w) = fresh(&fam.build);
+    let mut primary = w.instances[0].make_context(0);
+    let mut scavs: Vec<Context> = (1..5).map(|i| w.instances[i].make_context(i)).collect();
+    let rep = run_dual_mode(
+        &mut m,
+        &built.prog,
+        &mut primary,
+        &built.prog,
+        &mut scavs,
+        &DualModeOptions::default(),
+    )
+    .unwrap();
+    w.instances[0].assert_checksum(&primary);
+    let lat = rep.primary_latency.unwrap();
+    assert!(
+        (lat as f64) < solo as f64 * 2.0,
+        "dual-mode primary {lat} should stay within 2x of solo {solo}"
+    );
+    assert_eq!(rep.scavengers_completed, 4);
+}

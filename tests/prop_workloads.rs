@@ -1,0 +1,143 @@
+//! Property tests over the workload generators: for arbitrary (small)
+//! parameters, the predicted checksum matches execution — solo,
+//! manually instrumented, and coroutine-interleaved.
+
+use proptest::prelude::*;
+use reach::prelude::*;
+use reach_baselines::instrument_manual;
+
+fn fresh() -> (Machine, AddrAlloc) {
+    (
+        Machine::new(MachineConfig::default()),
+        AddrAlloc::new(0x10_0000),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chase_checksums_hold_for_arbitrary_params(
+        nodes in 1u64..200,
+        extra_hops in 0u64..300,
+        stride_pow in 4u32..13,
+        work in 0u32..40,
+        seed in any::<u64>(),
+    ) {
+        let params = ChaseParams {
+            nodes,
+            hops: nodes + extra_hops,
+            node_stride: 1 << stride_pow,
+            work_per_hop: work,
+            work_insts: 1 + work % 3,
+            seed,
+        };
+        let (mut m, mut alloc) = fresh();
+        let w = build_chase(&mut m.mem, &mut alloc, params, 2);
+        w.run_solo(&mut m, 0, 10_000_000);
+        w.run_solo(&mut m, 1, 10_000_000);
+    }
+
+    #[test]
+    fn hash_checksums_hold_for_arbitrary_params(
+        cap_pow in 6u32..13,
+        load_pct in 1u64..70,
+        lookups in 1u64..300,
+        hit_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let capacity = 1u64 << cap_pow;
+        let params = HashParams {
+            capacity,
+            occupied: (capacity * load_pct / 100).max(1),
+            lookups,
+            hit_fraction: hit_frac,
+            seed,
+        };
+        let (mut m, mut alloc) = fresh();
+        let w = build_hash(&mut m.mem, &mut alloc, params, 1);
+        w.run_solo(&mut m, 0, 50_000_000);
+    }
+
+    #[test]
+    fn zipf_and_scan_checksums_hold(
+        entries_pow in 4u32..16,
+        lookups in 1u64..400,
+        theta in 0.0f64..1.3,
+        words_pow in 3u32..12,
+        passes in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let (mut m, mut alloc) = fresh();
+        let zw = build_zipf_kv(&mut m.mem, &mut alloc, ZipfKvParams {
+            table_entries: 1 << entries_pow,
+            lookups,
+            theta,
+            seed,
+        }, 1);
+        zw.run_solo(&mut m, 0, 50_000_000);
+        let sw = build_scan(&mut m.mem, &mut alloc, ScanParams {
+            words: 1 << words_pow,
+            passes,
+            seed,
+        }, 1);
+        sw.run_solo(&mut m, 0, 50_000_000);
+    }
+
+    #[test]
+    fn manual_instrumentation_plus_interleaving_preserves_bst(
+        keys_pow in 4u32..11,
+        lookups in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        let params = BstParams {
+            keys: 1 << keys_pow,
+            lookups,
+            node_stride: 64,
+            seed,
+        };
+        let (mut m, mut alloc) = fresh();
+        let w = build_bst(&mut m.mem, &mut alloc, params, 3);
+        // The developer instruments the node-key load.
+        let (manual, _) =
+            instrument_manual(&w.prog, &[reach_workloads::NODE_KEY_LOAD_PC]).unwrap();
+        let mut ctxs: Vec<Context> =
+            (0..3).map(|i| w.instances[i].make_context(i)).collect();
+        let rep = run_interleaved(&mut m, &manual, &mut ctxs, &InterleaveOptions::default())
+            .unwrap();
+        prop_assert_eq!(rep.completed, 3);
+        for (i, c) in ctxs.iter().enumerate() {
+            prop_assert!(w.instances[i].checksum_ok(c), "instance {} corrupt", i);
+        }
+    }
+
+    #[test]
+    fn multi_chase_interleaved_with_pipeline_preserves_checksums(
+        chains in 1usize..5,
+        nodes in 2u64..80,
+        seed in any::<u64>(),
+    ) {
+        let params = MultiChaseParams {
+            chains,
+            nodes,
+            hops: nodes,
+            node_stride: 256,
+            seed,
+        };
+        let (mut m, mut alloc) = fresh();
+        let w = build_multi_chase(&mut m.mem, &mut alloc, params, 3);
+        let mut prof = vec![w.instances[2].make_context(9)];
+        let built = pgo_pipeline(&mut m, &w.prog, &mut prof, &PipelineOptions::default())
+            .expect("pipeline");
+        let (mut m2, mut alloc2) = fresh();
+        let w2 = build_multi_chase(&mut m2.mem, &mut alloc2, params, 3);
+        let mut ctxs: Vec<Context> =
+            (0..2).map(|i| w2.instances[i].make_context(i)).collect();
+        let opts = InterleaveOptions { poison_unsaved: true, ..InterleaveOptions::default() };
+        let rep = run_interleaved(&mut m2, &built.prog, &mut ctxs, &opts).unwrap();
+        prop_assert_eq!(rep.completed, 2);
+        for (i, c) in ctxs.iter().enumerate() {
+            prop_assert!(w2.instances[i].checksum_ok(c));
+        }
+    }
+}
