@@ -1,0 +1,130 @@
+//! `reach-lint` — static verification of micro-IR binaries from the
+//! command line.
+//!
+//! Runs the PGO pipeline on named workloads and lints the shipped
+//! binaries (or, with `--original` / `--sfi`, the uninstrumented and
+//! SFI-sandboxed variants), printing PC-anchored diagnostics with stable
+//! codes.
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --bin reach_lint -- [WORKLOAD ...] [options]
+//! ```
+//!
+//! Workloads: `chase multi hash zipf tiered` (default: all).
+//!
+//! Options:
+//!
+//! * `--original` — lint the uninstrumented binary instead of running
+//!   the pipeline (no origin map, so RL0007 is skipped).
+//! * `--sfi` — apply the SFI sandboxing pass to the original binary and
+//!   lint with the RL0005 escape checks enabled (implies no pipeline:
+//!   SFI must run before yield instrumentation).
+//! * `--deny CODE`, `--warn CODE`, `--allow CODE` — override a lint's
+//!   level; `CODE` is a stable code (`RL0003`) or name
+//!   (`redundant-prefetch`).
+//! * `--list` — print the lint catalog and exit.
+//!
+//! Exit status: 0 when no deny-level finding fired, 1 otherwise, 2 on
+//! usage errors.
+
+use reach_bench::{fresh, pgo_build, workload_builder, WORKLOAD_NAMES};
+use reach_core::PipelineOptions;
+use reach_instrument::{instrument_sfi, lint_program, Level, Lint, LintOptions, LintReport};
+use reach_sim::MachineConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reach_lint [WORKLOAD ...] [--original | --sfi] \
+         [--deny CODE] [--warn CODE] [--allow CODE] [--list]\n\
+         workloads: {}",
+        WORKLOAD_NAMES.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_lint_or_die(arg: Option<String>) -> Lint {
+    let Some(s) = arg else { usage() };
+    match Lint::parse(&s) {
+        Some(l) => l,
+        None => {
+            eprintln!("unknown lint '{s}'; known lints:");
+            for l in Lint::ALL {
+                eprintln!("  {} {}", l.code(), l.name());
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut names: Vec<String> = Vec::new();
+    let mut original = false;
+    let mut sfi = false;
+    let mut opts = LintOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--original" => original = true,
+            "--sfi" => sfi = true,
+            "--deny" => opts
+                .levels
+                .push((parse_lint_or_die(args.next()), Level::Deny)),
+            "--warn" => opts
+                .levels
+                .push((parse_lint_or_die(args.next()), Level::Warn)),
+            "--allow" => opts
+                .levels
+                .push((parse_lint_or_die(args.next()), Level::Allow)),
+            "--list" => {
+                println!("{:<8} {:<32} default", "code", "name");
+                for l in Lint::ALL {
+                    println!("{:<8} {:<32} {}", l.code(), l.name(), l.default_level());
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => usage(),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+    opts.sfi = sfi;
+
+    let cfg = MachineConfig::default();
+    let mut any_deny = false;
+    for name in &names {
+        let Some(build) = workload_builder(name) else {
+            eprintln!(
+                "unknown workload '{name}'; use: {}",
+                WORKLOAD_NAMES.join(" ")
+            );
+            std::process::exit(2);
+        };
+        let (variant, report): (&str, LintReport) = if sfi {
+            let (_, w) = fresh(&cfg, &*build);
+            let (sandboxed, rep) = instrument_sfi(&w.prog).expect("SFI pass failed");
+            (
+                "sfi",
+                lint_program(&sandboxed, Some(&rep.pc_map.origin), &opts),
+            )
+        } else if original {
+            let (_, w) = fresh(&cfg, &*build);
+            ("original", lint_program(&w.prog, None, &opts))
+        } else {
+            let built = pgo_build(&cfg, &*build, 1, &PipelineOptions::default());
+            (
+                "instrumented",
+                lint_program(&built.prog, Some(&built.origin), &opts),
+            )
+        };
+        println!("== reach-lint: {name} ({variant}) ==");
+        print!("{report}");
+        any_deny |= report.has_deny();
+    }
+    if any_deny {
+        std::process::exit(1);
+    }
+}

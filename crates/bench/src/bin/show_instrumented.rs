@@ -1,76 +1,34 @@
 //! Developer tool: run the PGO pipeline on a named workload and print the
 //! annotated before/after disassembly — the "objdump" view of what the
-//! instrumenter did and why.
+//! instrumenter did and why. With `--lint`, also print the `reach-lint`
+//! reports for both the original and the instrumented binary.
 //!
 //! ```sh
-//! cargo run --release -p reach-bench --bin show_instrumented [chase|multi|hash|zipf|tiered]
+//! cargo run --release -p reach-bench --bin show_instrumented [chase|multi|hash|zipf|tiered] [--lint]
 //! ```
 
-use reach_bench::{fresh, pgo_build};
+use reach_bench::{fresh, pgo_build, workload_builder, WORKLOAD_NAMES};
 use reach_core::PipelineOptions;
+use reach_instrument::{lint_program, LintOptions};
 use reach_sim::MachineConfig;
-use reach_workloads::{
-    build_chase, build_hash, build_multi_chase, build_tiered, build_zipf_kv, ChaseParams,
-    HashParams, MultiChaseParams, TieredParams, ZipfKvParams,
-};
-
-fn builder(name: &str) -> reach_bench::WorkloadBuilder {
-    match name {
-        "chase" => Box::new(|mem, alloc| {
-            build_chase(
-                mem,
-                alloc,
-                ChaseParams {
-                    nodes: 1024,
-                    hops: 1024,
-                    node_stride: 4096,
-                    work_per_hop: 20,
-                    work_insts: 1,
-                    seed: 1,
-                },
-                2,
-            )
-        }),
-        "multi" => {
-            Box::new(|mem, alloc| build_multi_chase(mem, alloc, MultiChaseParams::default(), 2))
-        }
-        "hash" => Box::new(|mem, alloc| {
-            build_hash(
-                mem,
-                alloc,
-                HashParams {
-                    capacity: 1 << 18,
-                    occupied: 120_000,
-                    lookups: 2048,
-                    hit_fraction: 0.8,
-                    seed: 1,
-                },
-                2,
-            )
-        }),
-        "zipf" => Box::new(|mem, alloc| build_zipf_kv(mem, alloc, ZipfKvParams::default(), 2)),
-        "tiered" => Box::new(|mem, alloc| {
-            build_tiered(
-                mem,
-                alloc,
-                &TieredParams {
-                    iters: 8192,
-                    ..TieredParams::default()
-                },
-                2,
-            )
-        }),
-        other => {
-            eprintln!("unknown workload '{other}'; use chase|multi|hash|zipf|tiered");
-            std::process::exit(2);
-        }
-    }
-}
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "chase".into());
+    let mut name = "chase".to_string();
+    let mut lint = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--lint" => lint = true,
+            other => name = other.to_string(),
+        }
+    }
     let cfg = MachineConfig::default();
-    let build = builder(&name);
+    let build = workload_builder(&name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload '{name}'; use {}",
+            WORKLOAD_NAMES.join("|")
+        );
+        std::process::exit(2);
+    });
 
     let (_, w) = fresh(&cfg, &*build);
     let built = pgo_build(&cfg, &*build, 1, &PipelineOptions::default());
@@ -106,5 +64,13 @@ fn main() {
             .map(|o| format!("{o:>4}"))
             .unwrap_or_else(|| "   +".into());
         println!("{marker} {pc:>4} (orig {origin}): {inst}");
+    }
+
+    if lint {
+        let opts = LintOptions::default();
+        println!("\n== {name}: reach-lint (original) ==");
+        print!("{}", lint_program(&w.prog, None, &opts));
+        println!("\n== {name}: reach-lint (instrumented) ==");
+        print!("{}", lint_program(&built.prog, Some(&built.origin), &opts));
     }
 }

@@ -15,6 +15,8 @@
 
 pub mod harness;
 pub mod table;
+pub mod workloads;
 
 pub use harness::{fresh, interleave_checked, pgo_build, RunRow, WorkloadBuilder, LAYOUT_BASE};
 pub use table::{cyc_ns, f, pct, Table};
+pub use workloads::{workload_builder, WORKLOAD_NAMES};

@@ -1,0 +1,84 @@
+//! The named-workload registry shared by developer tools
+//! (`show_instrumented`, `reach_lint`): one deterministic
+//! [`WorkloadBuilder`] per workload in the suite.
+
+use crate::harness::WorkloadBuilder;
+use reach_workloads::{
+    build_chase, build_hash, build_multi_chase, build_tiered, build_zipf_kv, ChaseParams,
+    HashParams, MultiChaseParams, TieredParams, ZipfKvParams,
+};
+
+/// Every named workload, in canonical order.
+pub const WORKLOAD_NAMES: [&str; 5] = ["chase", "multi", "hash", "zipf", "tiered"];
+
+/// Returns the deterministic builder for a named workload, or `None`
+/// for an unknown name. Parameters match the developer tools' canonical
+/// configurations (small enough to build fast, large enough to miss in
+/// cache).
+pub fn workload_builder(name: &str) -> Option<WorkloadBuilder> {
+    Some(match name {
+        "chase" => Box::new(|mem, alloc| {
+            build_chase(
+                mem,
+                alloc,
+                ChaseParams {
+                    nodes: 1024,
+                    hops: 1024,
+                    node_stride: 4096,
+                    work_per_hop: 20,
+                    work_insts: 1,
+                    seed: 1,
+                },
+                2,
+            )
+        }),
+        "multi" => {
+            Box::new(|mem, alloc| build_multi_chase(mem, alloc, MultiChaseParams::default(), 2))
+        }
+        "hash" => Box::new(|mem, alloc| {
+            build_hash(
+                mem,
+                alloc,
+                HashParams {
+                    capacity: 1 << 18,
+                    occupied: 120_000,
+                    lookups: 2048,
+                    hit_fraction: 0.8,
+                    seed: 1,
+                },
+                2,
+            )
+        }),
+        "zipf" => Box::new(|mem, alloc| build_zipf_kv(mem, alloc, ZipfKvParams::default(), 2)),
+        "tiered" => Box::new(|mem, alloc| {
+            build_tiered(
+                mem,
+                alloc,
+                &TieredParams {
+                    iters: 8192,
+                    ..TieredParams::default()
+                },
+                2,
+            )
+        }),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::fresh;
+    use reach_sim::MachineConfig;
+
+    #[test]
+    fn every_named_workload_builds() {
+        let cfg = MachineConfig::default();
+        for name in WORKLOAD_NAMES {
+            let build = workload_builder(name).expect("known name");
+            let (_, w) = fresh(&cfg, &*build);
+            assert!(!w.prog.is_empty(), "{name} built an empty program");
+        }
+        assert!(workload_builder("nope").is_none());
+    }
+}

@@ -56,6 +56,6 @@ pub use executor::{
     POISON,
 };
 pub use metrics::{percentile, CycleSummary};
-pub use pipeline::{pgo_pipeline, InstrumentedBinary, PipelineError, PipelineOptions};
+pub use pipeline::{lint_gate, pgo_pipeline, InstrumentedBinary, PipelineError, PipelineOptions};
 pub use scheduler::{run_task_queue, SchedPolicy, SchedReport, Task};
 pub use whatif::{make_conditional, yield_census, YieldCensus};

@@ -13,8 +13,9 @@
 //! profiled image.
 
 use reach_instrument::{
-    instrument_primary, instrument_scavenger, smooth_profile, validate_rewrite, PrimaryOptions,
-    PrimaryReport, RewriteError, ScavReport, ScavengerOptions, ValidationError,
+    instrument_primary, instrument_scavenger, lint_program, smooth_profile, validate_rewrite,
+    LintOptions, LintReport, PrimaryOptions, PrimaryReport, RewriteError, ScavReport,
+    ScavengerOptions, ValidationError,
 };
 use reach_profile::{collect, CollectionCost, CollectorConfig, Profile};
 use reach_sim::{Context, ExecError, Machine, Program};
@@ -29,6 +30,10 @@ pub struct PipelineOptions {
     /// Scavenger-pass options; `None` skips the pass (primary-only
     /// instrumentation, as in §3.2 alone).
     pub scavenger: Option<ScavengerOptions>,
+    /// `reach-lint` configuration for the final-binary gate. Deny-level
+    /// findings abort the pipeline ([`PipelineError::Lint`]); warnings
+    /// ride along in [`InstrumentedBinary::lint_report`].
+    pub lint: LintOptions,
 }
 
 impl Default for PipelineOptions {
@@ -37,6 +42,7 @@ impl Default for PipelineOptions {
             collector: CollectorConfig::default(),
             primary: PrimaryOptions::default(),
             scavenger: Some(ScavengerOptions::default()),
+            lint: LintOptions::default(),
         }
     }
 }
@@ -51,6 +57,10 @@ pub enum PipelineError {
     /// A rewriting pass produced a binary that failed translation
     /// validation (an instrumenter bug, caught before it ships).
     Validation(ValidationError),
+    /// The final binary failed a deny-level `reach-lint` check — the
+    /// defense-in-depth gate next to translation validation. The report
+    /// carries every finding.
+    Lint(LintReport),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -59,6 +69,13 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Exec(e) => write!(f, "profiling run failed: {e}"),
             PipelineError::Rewrite(e) => write!(f, "rewriting failed: {e}"),
             PipelineError::Validation(e) => write!(f, "translation validation failed: {e}"),
+            PipelineError::Lint(report) => {
+                write!(
+                    f,
+                    "reach-lint refused the binary ({} deny-level finding(s)):\n{report}",
+                    report.deny_count()
+                )
+            }
         }
     }
 }
@@ -99,6 +116,25 @@ pub struct InstrumentedBinary {
     pub primary_report: PrimaryReport,
     /// Scavenger-pass report (when the pass ran).
     pub scavenger_report: Option<ScavReport>,
+    /// `reach-lint` findings on the final binary (warn-level only — a
+    /// deny-level finding aborts the pipeline instead).
+    pub lint_report: LintReport,
+}
+
+/// The `reach-lint` shipping gate: lints `prog` and refuses it
+/// ([`PipelineError::Lint`]) if any deny-level finding fires. Returns
+/// the (warn-only) report otherwise.
+pub fn lint_gate(
+    prog: &Program,
+    origin: &[Option<usize>],
+    opts: &LintOptions,
+) -> Result<LintReport, PipelineError> {
+    let report = lint_program(prog, Some(origin), opts);
+    if report.has_deny() {
+        Err(PipelineError::Lint(report))
+    } else {
+        Ok(report)
+    }
 }
 
 /// Runs the full pipeline: profile `prog` by executing
@@ -145,6 +181,10 @@ pub fn pgo_pipeline(
         None => (primary_prog, primary_report.pc_map.origin.clone(), None),
     };
 
+    // Step (ii c): static verification of the shipped binary —
+    // defense-in-depth next to the per-pass translation validation.
+    let lint_report = lint_gate(&final_prog, &origin, &opts.lint)?;
+
     Ok(InstrumentedBinary {
         prog: final_prog,
         origin,
@@ -152,6 +192,7 @@ pub fn pgo_pipeline(
         collection_cost,
         primary_report,
         scavenger_report,
+        lint_report,
     })
 }
 
@@ -206,6 +247,50 @@ mod tests {
         assert_eq!(built.origin.len(), built.prog.len());
         let max_origin = built.origin.iter().flatten().max().unwrap();
         assert!(*max_origin < w.prog.len());
+        // The shipped binary linted clean (deny would have aborted; the
+        // pipeline's own output must not even warn).
+        assert!(
+            built.lint_report.is_clean(),
+            "pipeline output should lint clean:\n{}",
+            built.lint_report
+        );
+    }
+
+    #[test]
+    fn lint_gate_refuses_deny_level_binaries() {
+        use reach_instrument::{Level, Lint};
+        use reach_sim::isa::{ProgramBuilder, Reg};
+
+        // A binary whose yield saves nothing while r2/r3 are live: the
+        // RL0001 deny must turn into a pipeline refusal.
+        let mut b = ProgramBuilder::new("bad");
+        b.imm(Reg(2), 7);
+        b.push(Inst::Yield {
+            kind: YieldKind::Manual,
+            save_regs: Some(0),
+        });
+        b.store(Reg(2), Reg(3), 0);
+        b.halt();
+        let bad = b.finish().unwrap();
+        let origin: Vec<Option<usize>> = (0..bad.len()).map(Some).collect();
+        let err = lint_gate(&bad, &origin, &LintOptions::default()).unwrap_err();
+        match &err {
+            PipelineError::Lint(report) => {
+                assert!(report.has_deny());
+                assert_eq!(report.fired_codes(), vec!["RL0001"]);
+            }
+            other => panic!("expected lint refusal, got {other}"),
+        }
+        assert!(err.to_string().contains("RL0001"));
+
+        // Demoting the lint to warn lets the same binary through, with
+        // the finding preserved in the report.
+        let relaxed = LintOptions {
+            sfi: false,
+            levels: vec![(Lint::ClobberedLiveAtYield, Level::Warn)],
+        };
+        let report = lint_gate(&bad, &origin, &relaxed).unwrap();
+        assert_eq!(report.warn_count(), 1);
     }
 
     #[test]

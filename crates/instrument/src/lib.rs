@@ -18,16 +18,27 @@
 //!    calibrated common case, static worst-case bound).
 //! 7. [`rewrite`] — the relocation engine that keeps branch targets
 //!    correct across insertions and maps PCs between program versions.
+//! 8. [`dataflow`] — the generic worklist engine (forward/backward,
+//!    join-semilattice, widening) every analysis above instantiates.
+//! 9. [`analyses`] — reaching definitions, available prefetches,
+//!    anticipated loads, SFI maskedness.
+//! 10. [`lint`] — `reach-lint`, the static verifier: stable-coded,
+//!     PC-anchored diagnostics (RL0001–RL0007) over the analyses, used
+//!     as a defense-in-depth shipping gate next to translation
+//!     validation.
 //!
 //! All passes are semantics-preserving: instrumented programs compute the
 //! same results as the originals under any interleaving (enforced by
 //! integration and property tests, including register-poisoning runs that
 //! verify liveness soundness).
 
+pub mod analyses;
 pub mod cfg;
 pub mod cost_model;
 pub mod counting;
+pub mod dataflow;
 pub mod dependence;
+pub mod lint;
 pub mod liveness;
 pub mod loops;
 pub mod primary;
@@ -36,11 +47,17 @@ pub mod scavenger;
 pub mod sfi;
 pub mod validate;
 
+pub use analyses::{
+    AnticipatedLoads, AnticipatedLoadsProblem, AvailablePrefetches, AvailablePrefetchesProblem,
+    ReachingDefs, ReachingDefsProblem, SfiMasked, SfiMaskedProblem, ENTRY_DEF,
+};
 pub use cfg::{BasicBlock, Cfg};
 pub use cost_model::{remap_to_origin, select_sites, smooth_profile, Policy, SiteDecision};
 pub use counting::{instrument_counting, CountingInstrumented, R_COUNTER_BASE};
+pub use dataflow::{solve, DataflowProblem, Direction, Solution};
 pub use dependence::{coalesce_groups, hoistable_to_start};
-pub use liveness::{regset_to_string, Liveness, RegSet, ALL_REGS};
+pub use lint::{lint_program, Diagnostic, Level, Lint, LintOptions, LintReport};
+pub use liveness::{regset_to_string, Liveness, LivenessProblem, RegSet, ALL_REGS};
 pub use loops::{natural_loops, Dominators, NaturalLoop};
 pub use primary::{instrument_primary, PrimaryOptions, PrimaryReport};
 pub use rewrite::{insert_before, Insertion, PcMap, RewriteError};

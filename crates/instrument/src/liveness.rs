@@ -13,8 +13,15 @@
 //! are sound for save-set purposes: over-approximating liveness only costs
 //! cycles, never correctness — and the executor's register-poisoning test
 //! mode verifies we never under-approximate.
+//!
+//! Implementation: an instance of the generic worklist engine in
+//! [`crate::dataflow`] ([`LivenessProblem`]). The original hand-rolled
+//! worklist is preserved as [`Liveness::compute_reference`] and pinned
+//! bit-identical to the engine by differential tests
+//! (`tests/prop_dataflow.rs`).
 
 use crate::cfg::Cfg;
+use crate::dataflow::{self, DataflowProblem, Direction};
 use reach_sim::isa::{Inst, Program, Reg, NUM_REGS};
 
 /// A register set as a bitmask (bit *i* = register *i*).
@@ -31,7 +38,7 @@ pub struct Liveness {
     live_in: Vec<RegSet>,
 }
 
-fn def_use(inst: &Inst, uses_buf: &mut Vec<Reg>) -> (RegSet, RegSet) {
+pub(crate) fn def_use(inst: &Inst, uses_buf: &mut Vec<Reg>) -> (RegSet, RegSet) {
     let def = inst.def().map_or(0, |r| 1u32 << r.index());
     uses_buf.clear();
     inst.uses(uses_buf);
@@ -42,9 +49,56 @@ fn def_use(inst: &Inst, uses_buf: &mut Vec<Reg>) -> (RegSet, RegSet) {
     (def, uses)
 }
 
+/// Liveness as a [`DataflowProblem`]: backward may-analysis on the
+/// `RegSet` powerset lattice (join = union), transfer
+/// `live' = (live \ def) ∪ uses`.
+pub struct LivenessProblem;
+
+impl DataflowProblem for LivenessProblem {
+    type Fact = RegSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self) -> RegSet {
+        0
+    }
+
+    fn boundary(&self, last: Option<&Inst>) -> RegSet {
+        // Exit-block conservatism: an unknown caller may read anything
+        // after `ret`; nothing is observable after `halt`.
+        match last {
+            Some(Inst::Ret) => ALL_REGS,
+            _ => 0,
+        }
+    }
+
+    fn join(&self, into: &mut RegSet, from: &RegSet) {
+        *into |= *from;
+    }
+
+    fn transfer(&self, _pc: usize, inst: &Inst, fact: &mut RegSet) {
+        let mut uses_buf = Vec::with_capacity(4);
+        let (def, uses) = def_use(inst, &mut uses_buf);
+        *fact = (*fact & !def) | uses;
+    }
+}
+
 impl Liveness {
-    /// Computes liveness for `prog` over its `cfg`.
+    /// Computes liveness for `prog` over its `cfg` via the generic
+    /// dataflow engine.
     pub fn compute(prog: &Program, cfg: &Cfg) -> Liveness {
+        let sol = dataflow::solve(&LivenessProblem, prog, cfg);
+        Liveness {
+            live_in: sol.before,
+        }
+    }
+
+    /// The original hand-rolled backward worklist, kept as a differential
+    /// oracle: tests assert [`Liveness::compute`] matches it bit-for-bit
+    /// on every program.
+    pub fn compute_reference(prog: &Program, cfg: &Cfg) -> Liveness {
         let n = prog.len();
         let mut live_in = vec![0u32; n];
         let mut live_out_block = vec![0u32; cfg.len()];
@@ -65,7 +119,6 @@ impl Liveness {
             let last = &prog.insts[block.end - 1];
             let mut out = match last {
                 Inst::Ret => ALL_REGS,
-                Inst::Halt => 0,
                 _ => 0,
             };
             for &s in &block.succs {
@@ -129,7 +182,13 @@ mod tests {
     use reach_sim::isa::{AluOp, Cond, ProgramBuilder};
 
     fn analyze(prog: &Program) -> Liveness {
-        Liveness::compute(prog, &Cfg::build(prog))
+        let cfg = Cfg::build(prog);
+        let l = Liveness::compute(prog, &cfg);
+        // Every unit test doubles as a differential check against the
+        // reference worklist.
+        let r = Liveness::compute_reference(prog, &cfg);
+        assert_eq!(l.live_in, r.live_in, "engine deviates from reference");
+        l
     }
 
     #[test]

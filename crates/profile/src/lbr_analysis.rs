@@ -9,12 +9,12 @@
 //!   branches, keyed by the run's start/end PCs), and
 //! * taken-edge frequencies, from which hot paths are reconstructed.
 
+use crate::json::{Json, JsonError};
 use reach_sim::lbr::{straight_runs, BranchRecord};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Accumulated timing for one straight-line run (`start..=end`).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunTiming {
     /// Observations of this run.
     pub count: u64,
@@ -34,46 +34,17 @@ impl RunTiming {
 }
 
 /// Aggregates LBR snapshots into block latencies and edge frequencies.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct BlockLatencyEstimator {
     /// Timing per (start PC, ending-branch PC) straight run.
     ///
-    /// Serialized as a list of `((start, end), timing)` pairs via
-    /// serde-friendly `Vec` representation.
-    #[serde(with = "run_map_serde")]
+    /// Serialized as a PC-sorted list of `[start, end, count,
+    /// total_cycles]` rows (JSON maps cannot key on tuples).
     pub runs: HashMap<(usize, usize), RunTiming>,
     /// Taken-edge frequency per (branch PC, target PC).
-    #[serde(with = "run_map_serde")]
     pub edges: HashMap<(usize, usize), u64>,
     /// Snapshots folded in.
     pub snapshots: u64,
-}
-
-/// Serde helper: `HashMap<(usize, usize), V>` as a `Vec` of tuples (JSON
-/// maps cannot key on tuples).
-mod run_map_serde {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
-
-    pub fn serialize<S, V>(map: &HashMap<(usize, usize), V>, ser: S) -> Result<S::Ok, S::Error>
-    where
-        S: Serializer,
-        V: Serialize + Clone,
-    {
-        let mut v: Vec<((usize, usize), V)> =
-            map.iter().map(|(k, val)| (*k, val.clone())).collect();
-        v.sort_by_key(|(k, _)| *k);
-        v.serialize(ser)
-    }
-
-    pub fn deserialize<'de, D, V>(de: D) -> Result<HashMap<(usize, usize), V>, D::Error>
-    where
-        D: Deserializer<'de>,
-        V: Deserialize<'de>,
-    {
-        let v: Vec<((usize, usize), V)> = Vec::deserialize(de)?;
-        Ok(v.into_iter().collect())
-    }
 }
 
 impl BlockLatencyEstimator {
@@ -146,6 +117,82 @@ impl BlockLatencyEstimator {
         }
         self.snapshots += other.snapshots;
     }
+
+    /// Serializes into a [`Json`] value (see [`Profile::to_json`]).
+    ///
+    /// [`Profile::to_json`]: crate::Profile::to_json
+    pub fn to_json_value(&self) -> Json {
+        let mut runs: Vec<((usize, usize), RunTiming)> =
+            self.runs.iter().map(|(&k, &t)| (k, t)).collect();
+        runs.sort_unstable_by_key(|(k, _)| *k);
+        let mut edges: Vec<((usize, usize), u64)> =
+            self.edges.iter().map(|(&k, &n)| (k, n)).collect();
+        edges.sort_unstable();
+        Json::Object(vec![
+            (
+                "runs".into(),
+                Json::Array(
+                    runs.into_iter()
+                        .map(|((start, end), t)| {
+                            Json::Array(vec![
+                                Json::UInt(start as u64),
+                                Json::UInt(end as u64),
+                                Json::UInt(t.count),
+                                Json::UInt(t.total_cycles),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "edges".into(),
+                Json::Array(
+                    edges
+                        .into_iter()
+                        .map(|((from, to), n)| {
+                            Json::Array(vec![
+                                Json::UInt(from as u64),
+                                Json::UInt(to as u64),
+                                Json::UInt(n),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("snapshots".into(), Json::UInt(self.snapshots)),
+        ])
+    }
+
+    /// Inverse of [`BlockLatencyEstimator::to_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<BlockLatencyEstimator, JsonError> {
+        let mut runs = HashMap::new();
+        for row in v.get("runs")?.as_array()? {
+            let row = row.as_array()?;
+            if row.len() != 4 {
+                return Err(JsonError::shape("run row is not [start, end, count, cyc]"));
+            }
+            runs.insert(
+                (row[0].as_usize()?, row[1].as_usize()?),
+                RunTiming {
+                    count: row[2].as_u64()?,
+                    total_cycles: row[3].as_u64()?,
+                },
+            );
+        }
+        let mut edges = HashMap::new();
+        for row in v.get("edges")?.as_array()? {
+            let row = row.as_array()?;
+            if row.len() != 3 {
+                return Err(JsonError::shape("edge row is not [from, to, count]"));
+            }
+            edges.insert((row[0].as_usize()?, row[1].as_usize()?), row[2].as_u64()?);
+        }
+        Ok(BlockLatencyEstimator {
+            runs,
+            edges,
+            snapshots: v.get("snapshots")?.as_u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -210,8 +257,11 @@ mod tests {
     fn serde_round_trip() {
         let mut e = BlockLatencyEstimator::new();
         e.add_snapshot(&[rec(5, 10, 100), rec(14, 2, 130)]);
-        let json = serde_json::to_string(&e).unwrap();
-        let back: BlockLatencyEstimator = serde_json::from_str(&json).unwrap();
+        let json = e.to_json_value().to_string();
+        let back = BlockLatencyEstimator::from_json_value(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.runs, e.runs);
+        assert_eq!(back.edges, e.edges);
+        assert_eq!(back.snapshots, 1);
         assert_eq!(back.run_latency(10, 14), Some(30.0));
         assert_eq!(back.edge_count(5, 10), 1);
     }

@@ -18,10 +18,12 @@
 
 pub mod accuracy;
 pub mod collector;
+pub mod json;
 pub mod lbr_analysis;
 pub mod profile;
 
 pub use accuracy::{score, Accuracy};
 pub use collector::{collect, CollectionCost, CollectorConfig};
+pub use json::{Json, JsonError};
 pub use lbr_analysis::{BlockLatencyEstimator, RunTiming};
 pub use profile::{Periods, Profile};

@@ -7,13 +7,13 @@
 //! in exactly the way a production profile is — which is the point: the
 //! instrumentation downstream must work from this, not from ground truth.
 
+use crate::json::{pc_map_from_json, pc_map_to_json, Json, JsonError};
 use crate::lbr_analysis::BlockLatencyEstimator;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Sampling periods the profile was collected with (needed to scale
 /// sample counts back into occurrence estimates).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Periods {
     /// Period of the L2-miss load counter.
     pub l2_miss: u64,
@@ -37,7 +37,7 @@ impl Default for Periods {
 }
 
 /// Aggregated profile for one program image.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Profile {
     /// Program name this profile belongs to.
     pub program: String,
@@ -249,12 +249,76 @@ impl Profile {
     /// Serializes to JSON (profile persistence between the profiling and
     /// instrumentation phases of the PGO pipeline).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("profile serialization cannot fail")
+        let mut smoothed: Vec<(usize, f64)> =
+            self.smoothed_execs.iter().map(|(&k, &v)| (k, v)).collect();
+        smoothed.sort_by_key(|a| a.0);
+        Json::Object(vec![
+            ("program".into(), Json::Str(self.program.clone())),
+            (
+                "periods".into(),
+                Json::Object(vec![
+                    ("l2_miss".into(), Json::UInt(self.periods.l2_miss)),
+                    ("l3_miss".into(), Json::UInt(self.periods.l3_miss)),
+                    ("stall".into(), Json::UInt(self.periods.stall)),
+                    ("retired".into(), Json::UInt(self.periods.retired)),
+                ]),
+            ),
+            (
+                "l2_miss_samples".into(),
+                pc_map_to_json(&self.l2_miss_samples),
+            ),
+            (
+                "l3_miss_samples".into(),
+                pc_map_to_json(&self.l3_miss_samples),
+            ),
+            ("stall_samples".into(), pc_map_to_json(&self.stall_samples)),
+            (
+                "retired_samples".into(),
+                pc_map_to_json(&self.retired_samples),
+            ),
+            ("blocks".into(), self.blocks.to_json_value()),
+            ("total_samples".into(), Json::UInt(self.total_samples)),
+            (
+                "smoothed_execs".into(),
+                Json::Array(
+                    smoothed
+                        .into_iter()
+                        .map(|(pc, e)| Json::Array(vec![Json::UInt(pc as u64), Json::Float(e)]))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
     }
 
     /// Deserializes from JSON.
-    pub fn from_json(s: &str) -> Result<Profile, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Profile, JsonError> {
+        let v = Json::parse(s)?;
+        let periods = v.get("periods")?;
+        let mut smoothed_execs = HashMap::new();
+        for pair in v.get("smoothed_execs")?.as_array()? {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return Err(JsonError::shape("smoothed_execs entry is not a pair"));
+            }
+            smoothed_execs.insert(pair[0].as_usize()?, pair[1].as_f64()?);
+        }
+        Ok(Profile {
+            program: v.get("program")?.as_str()?.to_string(),
+            periods: Periods {
+                l2_miss: periods.get("l2_miss")?.as_u64()?,
+                l3_miss: periods.get("l3_miss")?.as_u64()?,
+                stall: periods.get("stall")?.as_u64()?,
+                retired: periods.get("retired")?.as_u64()?,
+            },
+            l2_miss_samples: pc_map_from_json(v.get("l2_miss_samples")?)?,
+            l3_miss_samples: pc_map_from_json(v.get("l3_miss_samples")?)?,
+            stall_samples: pc_map_from_json(v.get("stall_samples")?)?,
+            retired_samples: pc_map_from_json(v.get("retired_samples")?)?,
+            blocks: BlockLatencyEstimator::from_json_value(v.get("blocks")?)?,
+            total_samples: v.get("total_samples")?.as_u64()?,
+            smoothed_execs,
+        })
     }
 }
 
@@ -399,10 +463,22 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let p = sample_profile();
+        let mut p = sample_profile();
+        p.set_block_smoothing(std::iter::once(5..7));
         let q = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(q.l2_miss_samples, p.l2_miss_samples);
+        assert_eq!(q.l3_miss_samples, p.l3_miss_samples);
+        assert_eq!(q.stall_samples, p.stall_samples);
+        assert_eq!(q.retired_samples, p.retired_samples);
+        assert_eq!(q.smoothed_execs, p.smoothed_execs);
+        assert_eq!(q.total_samples, p.total_samples);
         assert_eq!(q.periods, p.periods);
         assert_eq!(q.program, "t");
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Profile::from_json("not json").is_err());
+        assert!(Profile::from_json("{}").is_err());
     }
 }

@@ -8,13 +8,11 @@
 //! phase (§3.3) learns basic-block latencies and common paths "like Intel's
 //! LBR can extract" [34, 35].
 
-use serde::{Deserialize, Serialize};
-
 /// Capacity of the hardware ring (Intel LBR depth on modern cores).
 pub const LBR_DEPTH: usize = 32;
 
 /// One taken-branch record.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BranchRecord {
     /// PC of the taken branch.
     pub from: usize,

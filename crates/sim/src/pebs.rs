@@ -14,14 +14,12 @@
 //!   default, but the knob lets us quantify what imprecision costs the
 //!   downstream instrumentation.
 
-use serde::{Deserialize, Serialize};
-
 /// Hardware events the sampler can be programmed to count.
 ///
 /// These mirror the two event classes §3.2 proposes sampling — loads that
 /// miss L2/L3, and stalled cycles — plus retired instructions for
 /// completeness.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum HwEvent {
     /// A retired load serviced beyond L2 (by L3 or memory).
     LoadL2Miss,
@@ -34,7 +32,7 @@ pub enum HwEvent {
 }
 
 /// Configuration of one sampling counter.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PebsConfig {
     /// Which event to count.
     pub event: HwEvent,
@@ -60,7 +58,7 @@ impl Default for PebsConfig {
 }
 
 /// One sample record.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Sample {
     /// The sampled event.
     pub event: HwEvent,

@@ -165,6 +165,7 @@ pub fn gen_program() -> impl Strategy<Value = GenProgram> {
         })
 }
 
+#[allow(dead_code)] // not every test binary executes programs
 /// Builds a machine with the scratch region initialized and a context
 /// with `RB` seeded.
 pub fn machine_for(g: &GenProgram) -> (Machine, Context) {
@@ -175,6 +176,7 @@ pub fn machine_for(g: &GenProgram) -> (Machine, Context) {
     (m, ctx)
 }
 
+#[allow(dead_code)] // not every test binary executes programs
 /// Runs `prog` to completion on a fresh machine for `g` and returns
 /// (final registers, final scratch+dump memory).
 pub fn run_and_observe(g: &GenProgram, prog: &Program) -> ([u64; 32], Vec<u64>) {

@@ -1,0 +1,148 @@
+//! `reach-lint` end-to-end: clean binaries stay clean, seeded defects
+//! fire exactly their lint.
+//!
+//! The zero-false-positive contract: every pipeline-instrumented binary
+//! from the workload suite lints with *no* diagnostics at all. The
+//! detection contract: deliberately corrupted binaries (the mutations a
+//! buggy instrumenter could produce) each fire exactly the expected
+//! stable code.
+
+use reach_bench::{fresh, pgo_build, workload_builder, WORKLOAD_NAMES};
+use reach_core::PipelineOptions;
+use reach_instrument::{
+    instrument_sfi, lint_program, Cfg, Level, LintOptions, Liveness, R_SFI_ADDR,
+};
+use reach_sim::isa::{Inst, Program, Reg};
+use reach_sim::MachineConfig;
+
+fn instrumented(name: &str) -> (Program, Vec<Option<usize>>) {
+    let cfg = MachineConfig::default();
+    let build = workload_builder(name).unwrap();
+    let built = pgo_build(&cfg, &*build, 1, &PipelineOptions::default());
+    (built.prog, built.origin)
+}
+
+#[test]
+fn every_clean_workload_binary_lints_with_zero_diagnostics() {
+    for name in WORKLOAD_NAMES {
+        let (prog, origin) = instrumented(name);
+        let report = lint_program(&prog, Some(&origin), &LintOptions::default());
+        assert!(
+            report.is_clean(),
+            "false positive(s) on clean {name} binary:\n{report}"
+        );
+        // The uninstrumented original is clean too.
+        let mcfg = MachineConfig::default();
+        let (_, w) = fresh(&mcfg, &*workload_builder(name).unwrap());
+        let orig_report = lint_program(&w.prog, None, &LintOptions::default());
+        assert!(
+            orig_report.is_clean(),
+            "false positive(s) on original {name} binary:\n{orig_report}"
+        );
+    }
+}
+
+#[test]
+fn clobbered_live_register_at_yield_fires_exactly_rl0001() {
+    let (mut prog, origin) = instrumented("chase");
+    // Find a yield whose save mask actually covers live registers, then
+    // corrupt it to save nothing — the classic "instrumenter forgot
+    // liveness" bug.
+    let liveness = Liveness::compute(&prog, &Cfg::build(&prog));
+    let victim = prog
+        .insts
+        .iter()
+        .enumerate()
+        .find_map(|(pc, i)| match i {
+            Inst::Yield {
+                save_regs: Some(m), ..
+            } if liveness.live_before(pc) & m != 0 => Some(pc),
+            _ => None,
+        })
+        .expect("pipeline inserted a live-saving yield");
+    if let Inst::Yield { save_regs, .. } = &mut prog.insts[victim] {
+        *save_regs = Some(0);
+    }
+    let report = lint_program(&prog, Some(&origin), &LintOptions::default());
+    assert_eq!(
+        report.fired_codes(),
+        vec!["RL0001"],
+        "unexpected findings:\n{report}"
+    );
+    assert!(report.has_deny());
+    assert!(report.diagnostics.iter().any(|d| d.pc == Some(victim)));
+}
+
+#[test]
+fn unmasked_store_in_sfi_binary_fires_exactly_rl0005() {
+    // SFI-sandbox a store-bearing binary (the workload suite is
+    // read-only, so build a writer), then undo one store's rerouting so
+    // it accesses its raw (unmasked) address register again.
+    let mut b = reach_sim::ProgramBuilder::new("writer");
+    let top = b.label();
+    b.imm(Reg(1), 8);
+    b.imm(Reg(2), 32);
+    // 4 iterations: r2 counts down by r1 = 8.
+    b.bind(top);
+    b.load(Reg(3), Reg(0), 0);
+    b.store(Reg(3), Reg(0), 8);
+    b.alu(reach_sim::isa::AluOp::Add, Reg(0), Reg(0), Reg(1), 1);
+    b.alu(reach_sim::isa::AluOp::Sub, Reg(2), Reg(2), Reg(1), 1);
+    b.branch(reach_sim::isa::Cond::Nez, Reg(2), top);
+    b.halt();
+    let w_prog = b.finish().unwrap();
+    let (mut prog, rep) = instrument_sfi(&w_prog).unwrap();
+    let opts = LintOptions {
+        sfi: true,
+        ..Default::default()
+    };
+    // Sanity: the sandboxed binary passes the escape analysis.
+    let clean = lint_program(&prog, Some(&rep.pc_map.origin), &opts);
+    assert!(
+        clean.is_clean(),
+        "sandboxed binary should be clean:\n{clean}"
+    );
+
+    let victim = prog
+        .insts
+        .iter()
+        .position(|i| matches!(i, Inst::Store { addr, .. } if *addr == R_SFI_ADDR))
+        .expect("workload has a guarded store");
+    if let Inst::Store { addr, .. } = &mut prog.insts[victim] {
+        *addr = Reg(0); // raw pointer, never proven masked
+    }
+    let report = lint_program(&prog, Some(&rep.pc_map.origin), &opts);
+    assert_eq!(
+        report.fired_codes(),
+        vec!["RL0005"],
+        "unexpected findings:\n{report}"
+    );
+    assert!(report.has_deny());
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.pc == Some(victim) && d.level == Level::Deny));
+}
+
+#[test]
+fn orphan_prefetch_fires_exactly_rl0002() {
+    let (mut prog, origin) = instrumented("chase");
+    // Skew an inserted prefetch's offset so no load ever consumes the
+    // line it requests.
+    let victim = prog
+        .insts
+        .iter()
+        .position(|i| matches!(i, Inst::Prefetch { .. }))
+        .expect("pipeline inserted a prefetch");
+    if let Inst::Prefetch { offset, .. } = &mut prog.insts[victim] {
+        *offset += 4096;
+    }
+    let report = lint_program(&prog, Some(&origin), &LintOptions::default());
+    assert_eq!(
+        report.fired_codes(),
+        vec!["RL0002"],
+        "unexpected findings:\n{report}"
+    );
+    assert!(!report.has_deny(), "RL0002 is warn-level by default");
+    assert!(report.diagnostics.iter().any(|d| d.pc == Some(victim)));
+}

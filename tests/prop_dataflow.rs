@@ -1,0 +1,151 @@
+//! Properties of the generic dataflow engine.
+//!
+//! Two families of guarantees:
+//!
+//! 1. **Differential**: the engine-backed liveness
+//!    ([`Liveness::compute`]) is bit-identical to the original
+//!    hand-rolled worklist ([`Liveness::compute_reference`]) — on every
+//!    workload program in the suite, on every pipeline-instrumented
+//!    binary, and on arbitrary generated programs.
+//! 2. **Fixpoint**: on arbitrary CFGs the engine terminates and its
+//!    solution actually *is* a fixpoint — per-instruction facts are
+//!    transfer-consistent, and block boundaries satisfy the join
+//!    equations.
+
+mod common;
+
+use common::gen_program;
+use proptest::prelude::*;
+use reach_bench::{pgo_build, workload_builder, WORKLOAD_NAMES};
+use reach_core::PipelineOptions;
+use reach_instrument::{
+    solve, Cfg, DataflowProblem, Direction, Liveness, LivenessProblem, ReachingDefsProblem,
+};
+use reach_sim::isa::Program;
+use reach_sim::MachineConfig;
+
+fn assert_engine_matches_reference(prog: &Program, what: &str) {
+    let cfg = Cfg::build(prog);
+    let engine = Liveness::compute(prog, &cfg);
+    let reference = Liveness::compute_reference(prog, &cfg);
+    for pc in 0..prog.len() {
+        assert_eq!(
+            engine.live_before(pc),
+            reference.live_before(pc),
+            "{what}: liveness deviates from reference at pc {pc}"
+        );
+    }
+}
+
+/// Checks that a solved problem satisfies the dataflow equations on
+/// `prog`: transfer-consistency inside blocks and join-consistency at
+/// block boundaries.
+fn assert_is_fixpoint<P: DataflowProblem>(problem: &P, prog: &Program, cfg: &Cfg)
+where
+    P::Fact: std::fmt::Debug,
+{
+    let sol = solve(problem, prog, cfg);
+    // Transfer consistency at every pc.
+    for pc in 0..prog.len() {
+        match problem.direction() {
+            Direction::Forward => {
+                let mut f = sol.before(pc).clone();
+                problem.transfer(pc, &prog.insts[pc], &mut f);
+                assert_eq!(
+                    &f,
+                    sol.after(pc),
+                    "forward transfer inconsistent at pc {pc}"
+                );
+            }
+            Direction::Backward => {
+                let mut f = sol.after(pc).clone();
+                problem.transfer(pc, &prog.insts[pc], &mut f);
+                assert_eq!(
+                    &f,
+                    sol.before(pc),
+                    "backward transfer inconsistent at pc {pc}"
+                );
+            }
+        }
+    }
+    // Join consistency at block boundaries.
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        match problem.direction() {
+            Direction::Forward => {
+                let mut joined = if b == 0 {
+                    problem.boundary(None)
+                } else {
+                    problem.bottom()
+                };
+                for &p in &blk.preds {
+                    let pred_exit = cfg.blocks[p].end - 1;
+                    problem.join(&mut joined, sol.after(pred_exit));
+                }
+                assert_eq!(
+                    &joined,
+                    sol.before(blk.start),
+                    "forward join inconsistent at block {b}"
+                );
+            }
+            Direction::Backward => {
+                let mut joined = if blk.succs.is_empty() {
+                    problem.boundary(Some(&prog.insts[blk.end - 1]))
+                } else {
+                    problem.bottom()
+                };
+                for &s in &blk.succs {
+                    problem.join(&mut joined, sol.before(cfg.blocks[s].start));
+                }
+                assert_eq!(
+                    &joined,
+                    sol.after(blk.end - 1),
+                    "backward join inconsistent at block {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn liveness_engine_matches_reference_on_workload_suite() {
+    let cfg = MachineConfig::default();
+    for name in WORKLOAD_NAMES {
+        let build = workload_builder(name).unwrap();
+        // The original workload program...
+        let (_, w) = reach_bench::fresh(&cfg, &*build);
+        assert_engine_matches_reference(&w.prog, name);
+        // ...and its fully instrumented pipeline output.
+        let built = pgo_build(&cfg, &*build, 1, &PipelineOptions::default());
+        assert_engine_matches_reference(&built.prog, &format!("{name} (instrumented)"));
+    }
+}
+
+#[test]
+fn workload_solutions_are_fixpoints() {
+    let mcfg = MachineConfig::default();
+    for name in WORKLOAD_NAMES {
+        let build = workload_builder(name).unwrap();
+        let (_, w) = reach_bench::fresh(&mcfg, &*build);
+        let cfg = Cfg::build(&w.prog);
+        assert_is_fixpoint(&LivenessProblem, &w.prog, &cfg);
+        assert_is_fixpoint(&ReachingDefsProblem, &w.prog, &cfg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_reference_on_arbitrary_programs(g in gen_program()) {
+        assert_engine_matches_reference(&g.prog, "generated");
+    }
+
+    #[test]
+    fn engine_reaches_fixpoint_on_arbitrary_cfgs(g in gen_program()) {
+        let cfg = Cfg::build(&g.prog);
+        // Backward (liveness) and forward (reaching defs) both terminate
+        // and satisfy the dataflow equations on arbitrary generated CFGs.
+        assert_is_fixpoint(&LivenessProblem, &g.prog, &cfg);
+        assert_is_fixpoint(&ReachingDefsProblem, &g.prog, &cfg);
+    }
+}

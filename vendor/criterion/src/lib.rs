@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the API subset the workspace's benches use: [`Criterion`]
+//! with `bench_function` / `benchmark_group`, [`BenchmarkGroup`] with
+//! `throughput` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! [`Throughput`], and the `criterion_group!` / `criterion_main!` macros
+//! (both the positional and the `name =` / `config =` / `targets =`
+//! forms).
+//!
+//! Instead of criterion's statistical sampling it times `sample_size`
+//! iterations after one warm-up call and prints the mean per-iteration
+//! wall-clock time — enough for the quick relative comparisons these
+//! benches are for, and fast enough to run in constrained environments.
+
+use std::time::{Duration, Instant};
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each bench runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named bench.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, None, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benches sharing a name prefix and throughput spec.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs, so results can be
+    /// reported as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a named bench within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.throughput,
+            &mut routine,
+        );
+        self
+    }
+
+    /// Runs a parameterized bench within the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.throughput,
+            &mut |b| routine(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (reporting happens per-bench; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterization of a bench.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("variant", parameter)`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Passed to each bench routine; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine` (after the caller's warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    routine: &mut F,
+) {
+    // Warm-up: one untimed iteration.
+    let mut warm = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut warm);
+
+    let mut bencher = Bencher {
+        iters: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+
+    let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  ({:.1} MB/s)", n as f64 / per_iter * 1e3)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<40} {:>12.1} ns/iter{rate}", per_iter);
+}
+
+/// Declares a bench group: positional `criterion_group!(name, targets...)`
+/// or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark targets (generated by
+        /// `criterion_group!`).
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| 1u64 + 1));
+    }
+
+    fn grouped(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("param", 4usize), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(positional, trivial);
+    criterion_group! {
+        name = named;
+        config = Criterion::default().sample_size(5);
+        targets = trivial, grouped
+    }
+
+    #[test]
+    fn groups_run() {
+        positional();
+        named();
+    }
+}

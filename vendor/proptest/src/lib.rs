@@ -1,0 +1,183 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements exactly the API surface the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `boxed`, implemented for
+//!   integer and float ranges, tuples, [`Just`], unions and mapped
+//!   strategies;
+//! * [`any`] over a small [`Arbitrary`] universe;
+//! * `prop::collection::vec` with exact, `Range` and `RangeInclusive`
+//!   size specs;
+//! * the `proptest!`, `prop_oneof!`, `prop_assert!` and `prop_assert_eq!`
+//!   macros;
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from the real crate: generation is driven by a
+//! deterministic SplitMix64 stream seeded from the test's module path (so
+//! failures reproduce across runs), there is no shrinking (the failing
+//! case's inputs are printed instead), and strategies are generators
+//! rather than value trees. Both are fine for this workspace: the tests
+//! only rely on coverage and reproducibility, not on minimal
+//! counterexamples.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every test file uses: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Namespace mirror of `proptest::prop` (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Asserts a condition inside a `proptest!` body.
+///
+/// The real crate returns an `Err` to the runner; without shrinking a
+/// plain panic carries the same information, and the runner prints the
+/// generated inputs before propagating it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type.
+///
+/// Weighted arms (`w => strat`) are not supported — the workspace only
+/// uses the uniform form.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$attr:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..cfg.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            &mut rng,
+                        );
+                    )+
+                    let described = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest {}: case {}/{} failed with inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            cfg.cases,
+                            described,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t1");
+        for _ in 0..1000 {
+            let v = (3u64..17).new_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.25f64..0.75).new_value(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_specs() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t2");
+        for _ in 0..200 {
+            let exact = crate::collection::vec(any::<u64>(), 7).new_value(&mut rng);
+            assert_eq!(exact.len(), 7);
+            let ranged = crate::collection::vec(0u64..5, 1..4).new_value(&mut rng);
+            assert!((1..4).contains(&ranged.len()));
+            assert!(ranged.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t3");
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t4");
+        let s = (0u64..10, 0u64..10).prop_map(|(a, b)| a * 10 + b);
+        for _ in 0..100 {
+            assert!(s.new_value(&mut rng) < 100);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, config applies, asserts work.
+        #[test]
+        fn macro_smoke(x in 0u64..100, ys in crate::collection::vec(1u32..5, 2..6)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.iter().filter(|&&y| y >= 5).count(), 0);
+        }
+    }
+}
