@@ -21,6 +21,38 @@
 
 use reach_sim::{Context, ExecError, Exit, Machine, Mode, Program, Status, SwitchKind, YieldKind};
 
+/// Scavenger watchdog configuration: the runtime containment for
+/// scavengers whose conditional yields never fire (elided by a bad
+/// rewrite, optimized out, or simply third-party code that does not
+/// cooperate). The static reach-lint gate catches the first case before
+/// shipping; the watchdog bounds the damage when a runaway slips through
+/// anyway.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogOptions {
+    /// Instruction budget per scavenger slice; a scavenger still running
+    /// after this many instructions is forcibly preempted (the fill ends
+    /// and the primary gets the CPU back).
+    pub slice_steps: u64,
+    /// A slice longer than this many cycles counts as an overrun against
+    /// the scavenger that ran it.
+    pub overrun_cycles: u64,
+    /// Overruns after which a scavenger is quarantined: excluded from
+    /// serving fills for the rest of the run and recorded in
+    /// [`DualModeReport::quarantined`]. (The post-primary drain, where
+    /// latency is no longer at stake, still completes it.)
+    pub max_overruns: u32,
+}
+
+impl Default for WatchdogOptions {
+    fn default() -> Self {
+        WatchdogOptions {
+            slice_steps: 50_000,
+            overrun_cycles: 1_200,
+            max_overruns: 3,
+        }
+    }
+}
+
 /// Options for a dual-mode run.
 #[derive(Clone, Copy, Debug)]
 pub struct DualModeOptions {
@@ -32,6 +64,13 @@ pub struct DualModeOptions {
     /// After the primary completes, run remaining scavengers to
     /// completion (symmetrically interleaved).
     pub drain_scavengers: bool,
+    /// Scavenger watchdog (None = no overrun containment, the
+    /// pre-hardening behaviour).
+    pub watchdog: Option<WatchdogOptions>,
+    /// Trap isolation: an [`ExecError`] in any context retires that
+    /// context with a record in [`DualModeReport::context_faults`]
+    /// instead of aborting the run.
+    pub isolate_faults: bool,
 }
 
 impl Default for DualModeOptions {
@@ -40,6 +79,8 @@ impl Default for DualModeOptions {
             hide_target: 300,
             max_steps_per_ctx: u64::MAX,
             drain_scavengers: true,
+            watchdog: None,
+            isolate_faults: false,
         }
     }
 }
@@ -58,12 +99,23 @@ pub struct DualModeReport {
     pub scavengers_used: usize,
     /// Scavenger contexts that ran to completion.
     pub scavengers_completed: usize,
-    /// Cycles the primary spent away from the CPU per fill (one entry per
-    /// primary yield).
+    /// Cycles the primary spent away from the CPU per fill — one entry
+    /// per primary yield, **including starved fills** (which record the
+    /// switch overhead they still paid). Keeping starved fills in the
+    /// sample is what keeps [`DualModeReport::mean_fill`] an unbiased
+    /// mean over *all* fills rather than only the hidden ones.
     pub fill_times: Vec<u64>,
     /// Primary yields with no runnable scavenger available (the fill ran
     /// on nothing and the miss was *not* hidden).
     pub starved_fills: u64,
+    /// Scavenger slices the watchdog counted as overruns.
+    pub overruns: u64,
+    /// Context ids of scavengers quarantined by the watchdog (repeat
+    /// overrun offenders, excluded from serving further fills).
+    pub quarantined: Vec<usize>,
+    /// Contexts retired by trap isolation: `(context id, error)` in
+    /// fault order. Empty unless [`DualModeOptions::isolate_faults`].
+    pub context_faults: Vec<(usize, ExecError)>,
 }
 
 impl DualModeReport {
@@ -103,10 +155,26 @@ pub fn run_dual_mode(
 
     let mut report = DualModeReport::default();
     let mut used = vec![false; scavengers.len()];
+    let mut overruns = vec![0u32; scavengers.len()];
+    let mut quarantined = vec![false; scavengers.len()];
     let mut next_scav = 0usize;
+    // Per-slice instruction budget: the watchdog preempts long before
+    // the overall per-context budget would.
+    let slice_budget = match &opts.watchdog {
+        Some(w) => w.slice_steps.min(opts.max_steps_per_ctx),
+        None => opts.max_steps_per_ctx,
+    };
 
     'primary: loop {
-        let exit = machine.run(primary_prog, primary, opts.max_steps_per_ctx)?;
+        let exit = match machine.run(primary_prog, primary, opts.max_steps_per_ctx) {
+            Ok(exit) => exit,
+            Err(e) if opts.isolate_faults => {
+                primary.status = Status::Faulted;
+                report.context_faults.push((primary.id, e));
+                break 'primary;
+            }
+            Err(e) => return Err(e),
+        };
         match exit {
             Exit::Done => break 'primary,
             Exit::StepLimit => break 'primary,
@@ -119,10 +187,11 @@ pub fn run_dual_mode(
 
                 let mut scavs_this_fill = 0usize;
                 'fill: loop {
-                    // Pick the next runnable scavenger (round robin).
+                    // Pick the next runnable, non-quarantined scavenger
+                    // (round robin).
                     let pick = (0..scavengers.len())
                         .map(|off| (next_scav + off) % scavengers.len().max(1))
-                        .find(|&i| scavengers[i].status == Status::Runnable);
+                        .find(|&i| scavengers[i].status == Status::Runnable && !quarantined[i]);
                     let Some(i) = pick else {
                         if scavs_this_fill == 0 {
                             report.starved_fills += 1;
@@ -136,9 +205,35 @@ pub fn run_dual_mode(
                     }
                     scavs_this_fill += 1;
 
-                    let exit =
-                        machine.run(scav_prog, &mut scavengers[i], opts.max_steps_per_ctx)?;
+                    let slice_start = machine.now;
+                    let exit = match machine.run(scav_prog, &mut scavengers[i], slice_budget) {
+                        Ok(exit) => exit,
+                        Err(e) if opts.isolate_faults => {
+                            // Trap isolation: retire this scavenger only;
+                            // the fill keeps going with the next one.
+                            scavengers[i].status = Status::Faulted;
+                            report.context_faults.push((scavengers[i].id, e));
+                            continue 'fill;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     let elapsed = machine.now - fill_start;
+                    // Watchdog overrun accounting, per slice: repeat
+                    // offenders are quarantined (retired from scheduling
+                    // for the rest of the run).
+                    let mut quarantine_now = false;
+                    if let Some(w) = &opts.watchdog {
+                        let slice = machine.now - slice_start;
+                        if slice > w.overrun_cycles || exit == Exit::StepLimit {
+                            overruns[i] += 1;
+                            report.overruns += 1;
+                            if overruns[i] >= w.max_overruns {
+                                quarantined[i] = true;
+                                report.quarantined.push(scavengers[i].id);
+                                quarantine_now = true;
+                            }
+                        }
+                    }
                     match exit {
                         Exit::Done => {
                             report.scavengers_completed += 1;
@@ -146,6 +241,13 @@ pub fn run_dual_mode(
                                 break 'fill;
                             }
                             // Otherwise keep filling with another one.
+                        }
+                        Exit::StepLimit if opts.watchdog.is_some() => {
+                            // Watchdog preemption, not a fault: the
+                            // scavenger stays runnable (unless just
+                            // quarantined) but the primary gets the CPU
+                            // back now.
+                            break 'fill;
                         }
                         Exit::StepLimit => {
                             scavengers[i].status = Status::Faulted;
@@ -161,6 +263,7 @@ pub fn run_dual_mode(
                                 // goes back to the primary.
                                 YieldKind::Scavenger | YieldKind::Manual => break 'fill,
                                 _ if elapsed >= opts.hide_target => break 'fill,
+                                _ if quarantine_now => break 'fill,
                                 // Its own likely-miss: hand off to another
                                 // scavenger to consume more cycles.
                                 YieldKind::Primary | YieldKind::IfAbsent => {
@@ -174,6 +277,8 @@ pub fn run_dual_mode(
                 }
                 report.max_scavengers_per_fill =
                     report.max_scavengers_per_fill.max(scavs_this_fill);
+                // Unconditional: starved fills record their (switch-only)
+                // fill time too, keeping mean_fill unbiased.
                 report.fill_times.push(machine.now - fill_start);
             }
         }
@@ -183,10 +288,12 @@ pub fn run_dual_mode(
     if opts.drain_scavengers {
         let iopts = crate::executor::InterleaveOptions {
             max_steps_per_ctx: opts.max_steps_per_ctx,
+            isolate_faults: opts.isolate_faults,
             ..crate::executor::InterleaveOptions::default()
         };
         let drain = crate::executor::run_interleaved(machine, scav_prog, scavengers, &iopts)?;
         report.scavengers_completed += drain.completed;
+        report.context_faults.extend(drain.faults);
     }
 
     report.total_cycles = machine.now - started_at;
@@ -384,6 +491,162 @@ mod tests {
         .unwrap();
         assert_eq!(r.starved_fills, hops);
         assert_eq!(r.scavengers_used, 0);
+    }
+
+    /// A scavenger whose yields were all elided: pure compute, never
+    /// hands the core back.
+    fn runaway_prog(iters: u64) -> Program {
+        let mut b = ProgramBuilder::new("runaway");
+        b.imm(Reg(1), iters);
+        b.imm(Reg(2), 1);
+        let top = b.label();
+        b.bind(top);
+        b.alu(AluOp::Sub, Reg(1), Reg(1), Reg(2), 1);
+        b.branch(Cond::Nez, Reg(1), top);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn watchdog_quarantines_runaway_and_bounds_primary_latency() {
+        let prog = dual_instrumented_chase(true);
+        let scav = runaway_prog(20_000);
+        let hops = 32u64;
+
+        let run = |watchdog: Option<WatchdogOptions>| {
+            let mut m = Machine::new(MachineConfig::default());
+            let hp = lay_chain(&mut m, 0x100_0000, hops);
+            let mut primary = ctx_for(0, hp, hops);
+            let mut scavs = vec![Context::new(1)];
+            let r = run_dual_mode(
+                &mut m,
+                &prog,
+                &mut primary,
+                &scav,
+                &mut scavs,
+                &DualModeOptions {
+                    watchdog,
+                    ..DualModeOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(primary.status, Status::Done);
+            r
+        };
+
+        // Unprotected: the runaway consumes its entire program inside one
+        // fill and the primary eats all of it.
+        let loose = run(None);
+        assert_eq!(loose.quarantined, Vec::<usize>::new());
+
+        // Watchdog: slices are preempted, repeat offenses quarantine the
+        // scavenger, and the primary's latency stays bounded.
+        let w = WatchdogOptions {
+            slice_steps: 200,
+            overrun_cycles: 1_000,
+            max_overruns: 3,
+        };
+        let tight = run(Some(w));
+        assert_eq!(tight.quarantined, vec![1]);
+        assert!(tight.overruns >= u64::from(w.max_overruns));
+        let (lw, ln) = (
+            tight.primary_latency.unwrap(),
+            loose.primary_latency.unwrap(),
+        );
+        assert!(
+            lw * 2 < ln,
+            "watchdog latency {lw} should be far below unprotected {ln}"
+        );
+        // The quarantined scavenger is preempted, not faulted: the drain
+        // still ran it to completion.
+        assert_eq!(tight.scavengers_completed, 1);
+        assert!(tight.context_faults.is_empty());
+    }
+
+    #[test]
+    fn isolated_trap_retires_scavenger_and_primary_completes() {
+        let prog = dual_instrumented_chase(true);
+        // A scavenger that traps immediately: `ret` with an empty call
+        // stack.
+        let trap = {
+            let mut b = ProgramBuilder::new("trap");
+            b.ret();
+            b.finish().unwrap()
+        };
+        let hops = 8u64;
+
+        // Without isolation the whole run aborts.
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, hops);
+        let mut primary = ctx_for(0, hp, hops);
+        let mut scavs = vec![Context::new(1)];
+        let err = run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &trap,
+            &mut scavs,
+            &DualModeOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::RetEmptyStack { pc: 0 });
+
+        // With isolation only the trapping context retires.
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, hops);
+        let mut primary = ctx_for(0, hp, hops);
+        let mut scavs = vec![Context::new(1)];
+        let r = run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &trap,
+            &mut scavs,
+            &DualModeOptions {
+                isolate_faults: true,
+                ..DualModeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(primary.status, Status::Done);
+        assert!(r.primary_latency.is_some());
+        assert_eq!(scavs[0].status, Status::Faulted);
+        assert_eq!(
+            r.context_faults,
+            vec![(1, ExecError::RetEmptyStack { pc: 0 })]
+        );
+    }
+
+    /// Regression: starved fills must still contribute a `fill_times`
+    /// entry (the switch overhead they paid), so `mean_fill` averages
+    /// over every fill rather than only the hidden ones.
+    #[test]
+    fn starved_fills_record_fill_time_entries() {
+        let prog = dual_instrumented_chase(true);
+        let hops = 8u64;
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, hops);
+        let mut primary = ctx_for(0, hp, hops);
+        let r = run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &prog,
+            &mut [],
+            &DualModeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.starved_fills, hops);
+        assert_eq!(
+            r.fill_times.len(),
+            hops as usize,
+            "every starved fill records an entry"
+        );
+        assert!(
+            r.fill_times.iter().all(|&t| t > 0),
+            "starved fills still paid the switch overhead"
+        );
+        assert!(r.mean_fill() > 0.0);
     }
 
     #[test]

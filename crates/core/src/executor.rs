@@ -38,6 +38,10 @@ pub struct InterleaveOptions {
     pub record_intervals: bool,
     /// Per-context instruction budget.
     pub max_steps_per_ctx: u64,
+    /// Trap isolation: an [`ExecError`] in one context retires that
+    /// context (recorded in [`InterleaveReport::faults`]) instead of
+    /// aborting the whole run.
+    pub isolate_faults: bool,
 }
 
 impl Default for InterleaveOptions {
@@ -47,6 +51,7 @@ impl Default for InterleaveOptions {
             poison_unsaved: false,
             record_intervals: false,
             max_steps_per_ctx: u64::MAX,
+            isolate_faults: false,
         }
     }
 }
@@ -73,13 +78,19 @@ pub struct InterleaveReport {
     pub intervals: Vec<u64>,
     /// True if some context exhausted its step budget.
     pub step_limited: bool,
+    /// Contexts retired by trap isolation: `(context id, error)`, in
+    /// fault order. Empty unless
+    /// [`InterleaveOptions::isolate_faults`] is set.
+    pub faults: Vec<(usize, ExecError)>,
 }
 
 /// Runs `contexts` over `prog`, rotating on every fired yield.
 ///
 /// # Errors
 ///
-/// Propagates workload execution errors.
+/// Propagates workload execution errors — unless
+/// [`InterleaveOptions::isolate_faults`] is set, in which case the
+/// faulting context is retired and recorded and the run continues.
 pub fn run_interleaved(
     machine: &mut Machine,
     prog: &Program,
@@ -122,7 +133,19 @@ pub fn run_interleaved(
 
         let before = contexts[i].stats.instructions;
         let burst_start = machine.now;
-        let exit = machine.run(prog, &mut contexts[i], steps_left[i])?;
+        let exit = match machine.run(prog, &mut contexts[i], steps_left[i]) {
+            Ok(exit) => exit,
+            Err(e) if opts.isolate_faults => {
+                // The machine marks some faults (call-depth, injected
+                // traps) itself; make retirement unconditional so e.g. a
+                // memory fault cannot leave the context schedulable.
+                contexts[i].status = Status::Faulted;
+                report.faults.push((contexts[i].id, e));
+                cur = (i + 1) % n;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         let used = contexts[i].stats.instructions - before;
         steps_left[i] = steps_left[i].saturating_sub(used);
 
@@ -222,7 +245,16 @@ pub fn run_interleaved_multi(
         let before = jobs[i].ctx.stats.instructions;
         let burst_start = machine.now;
         let prog = jobs[i].prog;
-        let exit = machine.run(prog, &mut jobs[i].ctx, steps_left[i])?;
+        let exit = match machine.run(prog, &mut jobs[i].ctx, steps_left[i]) {
+            Ok(exit) => exit,
+            Err(e) if opts.isolate_faults => {
+                jobs[i].ctx.status = Status::Faulted;
+                report.faults.push((jobs[i].ctx.id, e));
+                cur = (i + 1) % n;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         let used = jobs[i].ctx.stats.instructions - before;
         steps_left[i] = steps_left[i].saturating_sub(used);
 
@@ -484,6 +516,45 @@ mod tests {
         let r = run_interleaved(&mut m, &prog, &mut ctxs, &opts).unwrap();
         assert!(r.step_limited);
         assert_eq!(r.completed, 0);
+    }
+
+    #[test]
+    fn isolated_fault_retires_one_context_not_the_run() {
+        // Shared program: one load through r0, halt. Context 0 points r0
+        // at an unaligned address (memory fault); context 1 is healthy.
+        let mut b = ProgramBuilder::new("iso");
+        b.load(Reg(1), Reg(0), 0);
+        b.halt();
+        let prog = b.finish().unwrap();
+
+        let make_ctxs = || {
+            let mut bad = Context::new(0);
+            bad.set_reg(Reg(0), 0x1001);
+            let mut good = Context::new(1);
+            good.set_reg(Reg(0), 0x1000);
+            vec![bad, good]
+        };
+
+        // Default semantics: the fault aborts the run.
+        let mut m = Machine::new(MachineConfig::default());
+        let mut ctxs = make_ctxs();
+        assert!(run_interleaved(&mut m, &prog, &mut ctxs, &InterleaveOptions::default()).is_err());
+
+        // Isolated: the faulting context is retired and recorded, the
+        // healthy one completes.
+        let mut m = Machine::new(MachineConfig::default());
+        let mut ctxs = make_ctxs();
+        let opts = InterleaveOptions {
+            isolate_faults: true,
+            ..InterleaveOptions::default()
+        };
+        let r = run_interleaved(&mut m, &prog, &mut ctxs, &opts).unwrap();
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.faults.len(), 1);
+        assert_eq!(r.faults[0].0, 0);
+        assert!(matches!(r.faults[0].1, ExecError::Mem(_)));
+        assert_eq!(ctxs[0].status, Status::Faulted);
+        assert_eq!(ctxs[1].status, Status::Done);
     }
 
     #[test]

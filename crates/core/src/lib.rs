@@ -14,6 +14,9 @@
 //!   scaled on demand.
 //! * [`scheduler`] — §4.2 integration with a µs-task scheduler (FIFO vs
 //!   ready-queue side-car vs event-aware).
+//! * [`degrade`] — the graceful-degradation ladder: an infallible
+//!   pipeline front end that retries profiling and steps down
+//!   full-PGO → scavenger-only → uninstrumented, recording why.
 //! * [`whatif`] — §4.1 hardware what-if: presence-probe-conditional
 //!   yields.
 //! * [`metrics`] — percentiles and cycle-accounting summaries.
@@ -43,6 +46,7 @@
 //! w.instances[0].assert_checksum(&ctxs[0]);
 //! ```
 
+pub mod degrade;
 pub mod dualmode;
 pub mod executor;
 pub mod metrics;
@@ -50,12 +54,13 @@ pub mod pipeline;
 pub mod scheduler;
 pub mod whatif;
 
-pub use dualmode::{run_dual_mode, DualModeOptions, DualModeReport};
+pub use degrade::{pgo_pipeline_degrading, DegradeOptions, DegradeReason, DegradedBuild, Rung};
+pub use dualmode::{run_dual_mode, DualModeOptions, DualModeReport, WatchdogOptions};
 pub use executor::{
     run_interleaved, run_interleaved_multi, InterleaveOptions, InterleaveReport, Job, SwitchMode,
     POISON,
 };
-pub use metrics::{percentile, CycleSummary};
+pub use metrics::{percentile, ratio, CycleSummary};
 pub use pipeline::{lint_gate, pgo_pipeline, InstrumentedBinary, PipelineError, PipelineOptions};
 pub use scheduler::{run_task_queue, SchedPolicy, SchedReport, Task};
 pub use whatif::{make_conditional, yield_census, YieldCensus};

@@ -16,6 +16,17 @@ pub fn percentile(values: &[u64], p: f64) -> u64 {
     v[rank.saturating_sub(1).min(v.len() - 1)]
 }
 
+/// `num / den` as `f64`, 0.0 when the denominator is zero. The safe
+/// division every degradation-matrix cell needs (faulted runs can leave
+/// either side empty).
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
 /// A compact where-did-the-cycles-go summary.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CycleSummary {

@@ -17,8 +17,11 @@ use reach_instrument::{
     LintOptions, LintReport, PrimaryOptions, PrimaryReport, RewriteError, ScavReport,
     ScavengerOptions, ValidationError,
 };
-use reach_profile::{collect, CollectionCost, CollectorConfig, Profile};
-use reach_sim::{Context, ExecError, Machine, Program};
+use reach_profile::{
+    collect, validate_profile, CollectionCost, CollectorConfig, Profile, ProfileInvalid,
+    ProfileValidationOptions,
+};
+use reach_sim::{Context, ExecError, Machine, MachineConfig, Program};
 
 /// Options for the full pipeline.
 #[derive(Clone, Debug)]
@@ -34,6 +37,14 @@ pub struct PipelineOptions {
     /// findings abort the pipeline ([`PipelineError::Lint`]); warnings
     /// ride along in [`InstrumentedBinary::lint_report`].
     pub lint: LintOptions,
+    /// Profile admission control: provenance (binary fingerprint) and
+    /// sample-coverage checks on the smoothed profile before it steers
+    /// instrumentation. `None` (the default) skips the check — opt in
+    /// when profiles cross a trust boundary (serialized, cached, or
+    /// collected by another process). The degradation ladder
+    /// ([`crate::degrade`]) turns these refusals into re-profiles and
+    /// rung descents instead of hard failures.
+    pub validation: Option<ProfileValidationOptions>,
 }
 
 impl Default for PipelineOptions {
@@ -43,6 +54,7 @@ impl Default for PipelineOptions {
             primary: PrimaryOptions::default(),
             scavenger: Some(ScavengerOptions::default()),
             lint: LintOptions::default(),
+            validation: None,
         }
     }
 }
@@ -61,6 +73,9 @@ pub enum PipelineError {
     /// defense-in-depth gate next to translation validation. The report
     /// carries every finding.
     Lint(LintReport),
+    /// The profile failed admission control (wrong provenance or too
+    /// little coverage to steer instrumentation safely).
+    Profile(ProfileInvalid),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -76,6 +91,7 @@ impl std::fmt::Display for PipelineError {
                     report.deny_count()
                 )
             }
+            PipelineError::Profile(e) => write!(f, "profile rejected: {e}"),
         }
     }
 }
@@ -97,6 +113,12 @@ impl From<RewriteError> for PipelineError {
 impl From<ValidationError> for PipelineError {
     fn from(e: ValidationError) -> Self {
         PipelineError::Validation(e)
+    }
+}
+
+impl From<ProfileInvalid> for PipelineError {
+    fn from(e: ProfileInvalid) -> Self {
+        PipelineError::Profile(e)
     }
 }
 
@@ -157,9 +179,49 @@ pub fn pgo_pipeline(
     // even for short loops (AutoFDO-style aggregation).
     let profile = smooth_profile(&raw_profile, prog);
 
-    // Step (ii a): primary instrumentation, translation-validated.
+    // Admission control: refuse a profile with the wrong provenance or
+    // too little coverage before it steers any rewriting.
+    if let Some(v) = &opts.validation {
+        validate_profile(&profile, prog, v)?;
+    }
+
     let mcfg = machine.cfg.clone();
-    let (primary_prog, primary_report) = instrument_primary(prog, &profile, &mcfg, &opts.primary)?;
+    let (final_prog, origin, primary_report, scavenger_report, lint_report) =
+        instrument_with_profile(prog, &profile, &mcfg, opts)?;
+
+    Ok(InstrumentedBinary {
+        prog: final_prog,
+        origin,
+        profile,
+        collection_cost,
+        primary_report,
+        scavenger_report,
+        lint_report,
+    })
+}
+
+/// Step (ii) in isolation: instrument `prog` under an already-collected,
+/// already-smoothed (and, if configured, already-validated) `profile`.
+/// Shared by [`pgo_pipeline`] and the degradation ladder
+/// ([`crate::degrade`]), which re-enters here after re-profiling.
+#[allow(clippy::type_complexity)]
+pub(crate) fn instrument_with_profile(
+    prog: &Program,
+    profile: &Profile,
+    mcfg: &MachineConfig,
+    opts: &PipelineOptions,
+) -> Result<
+    (
+        Program,
+        Vec<Option<usize>>,
+        PrimaryReport,
+        Option<ScavReport>,
+        LintReport,
+    ),
+    PipelineError,
+> {
+    // Step (ii a): primary instrumentation, translation-validated.
+    let (primary_prog, primary_report) = instrument_primary(prog, profile, mcfg, &opts.primary)?;
     validate_rewrite(prog, &primary_prog, &primary_report.pc_map.origin, false)?;
 
     // Step (ii b): scavenger instrumentation, carrying profile PCs across
@@ -168,7 +230,7 @@ pub fn pgo_pipeline(
         Some(sopts) => {
             let origin1 = primary_report.pc_map.origin.clone();
             let (scav_prog, scav_report) =
-                instrument_scavenger(&primary_prog, Some((&profile, &origin1)), &mcfg, sopts)?;
+                instrument_scavenger(&primary_prog, Some((profile, &origin1)), mcfg, sopts)?;
             validate_rewrite(&primary_prog, &scav_prog, &scav_report.pc_map.origin, false)?;
             let composed: Vec<Option<usize>> = scav_report
                 .pc_map
@@ -185,15 +247,13 @@ pub fn pgo_pipeline(
     // defense-in-depth next to the per-pass translation validation.
     let lint_report = lint_gate(&final_prog, &origin, &opts.lint)?;
 
-    Ok(InstrumentedBinary {
-        prog: final_prog,
+    Ok((
+        final_prog,
         origin,
-        profile,
-        collection_cost,
         primary_report,
         scavenger_report,
         lint_report,
-    })
+    ))
 }
 
 #[cfg(test)]
@@ -291,6 +351,61 @@ mod tests {
         };
         let report = lint_gate(&bad, &origin, &relaxed).unwrap();
         assert_eq!(report.warn_count(), 1);
+    }
+
+    #[test]
+    fn validation_accepts_own_profile_and_refuses_forged_provenance() {
+        use reach_profile::ProfileInvalid;
+
+        let mut m = Machine::new(MachineConfig::default());
+        let mut alloc = AddrAlloc::new(0x10_0000);
+        let w = build_chase(&mut m.mem, &mut alloc, chase_params(), 2);
+
+        // Validation on: the pipeline's own freshly collected profile
+        // passes admission control.
+        let opts = PipelineOptions {
+            validation: Some(reach_profile::ProfileValidationOptions {
+                require_fingerprint: true,
+                ..reach_profile::ProfileValidationOptions::default()
+            }),
+            ..PipelineOptions::default()
+        };
+        let mut prof_ctx = vec![w.instances[1].make_context(99)];
+        let built = pgo_pipeline(&mut m, &w.prog, &mut prof_ctx, &opts).unwrap();
+        assert_eq!(built.profile.fingerprint, w.prog.fingerprint());
+
+        // A profile collected against a *different* binary is refused
+        // before it can steer instrumentation.
+        let other = {
+            let mut b = reach_sim::isa::ProgramBuilder::new("other");
+            b.halt();
+            b.finish().unwrap()
+        };
+        let verdict =
+            reach_profile::validate_profile(&built.profile, &other, &opts.validation.unwrap());
+        assert!(matches!(
+            verdict,
+            Err(ProfileInvalid::FingerprintMismatch { .. })
+        ));
+
+        // And an impossible coverage bar makes the pipeline itself refuse
+        // with a typed error rather than instrumenting blind.
+        let strict = PipelineOptions {
+            validation: Some(reach_profile::ProfileValidationOptions {
+                min_total_samples: u64::MAX,
+                ..reach_profile::ProfileValidationOptions::default()
+            }),
+            ..PipelineOptions::default()
+        };
+        let mut m2 = Machine::new(MachineConfig::default());
+        let mut alloc2 = AddrAlloc::new(0x10_0000);
+        let w2 = build_chase(&mut m2.mem, &mut alloc2, chase_params(), 2);
+        let mut prof_ctx2 = vec![w2.instances[1].make_context(99)];
+        let err = pgo_pipeline(&mut m2, &w2.prog, &mut prof_ctx2, &strict).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Profile(ProfileInvalid::TooFewSamples { .. })
+        ));
     }
 
     #[test]

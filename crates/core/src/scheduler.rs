@@ -50,6 +50,11 @@ pub struct SchedReport {
     pub makespan: u64,
     /// Tasks completed.
     pub completed: usize,
+    /// Tasks retired for exceeding their step budget (runaways).
+    pub budget_exceeded: usize,
+    /// Tasks retired by an execution fault: `(queue position, error)` in
+    /// fault order.
+    pub faults: Vec<(usize, ExecError)>,
 }
 
 impl SchedReport {
@@ -67,14 +72,15 @@ impl SchedReport {
 /// Serves `tasks` (sorted by arrival internally) over `prog` under
 /// `policy`.
 ///
+/// A task that faults or exceeds `max_steps_per_task` is retired
+/// (recorded in [`SchedReport::faults`] / [`SchedReport::budget_exceeded`])
+/// and the queue keeps draining — one bad task cannot take the scheduler
+/// down.
+///
 /// # Errors
 ///
-/// Propagates workload execution errors.
-///
-/// # Panics
-///
-/// Panics if a task exceeds `max_steps_per_task` — the queue cannot make
-/// progress with a runaway task.
+/// Per-task failures are contained, not propagated; the `Result` is kept
+/// for machine-level errors and API stability.
 pub fn run_task_queue(
     machine: &mut Machine,
     prog: &Program,
@@ -87,6 +93,8 @@ pub fn run_task_queue(
     let n = tasks.len();
     let mut first_run: Vec<Option<u64>> = vec![None; n];
     let mut done_at: Vec<Option<u64>> = vec![None; n];
+    let mut budget_exceeded = 0usize;
+    let mut faults: Vec<(usize, ExecError)> = Vec::new();
 
     match policy {
         SchedPolicy::Fifo => {
@@ -96,9 +104,17 @@ pub fn run_task_queue(
                     machine.advance_idle(arrival - machine.now);
                 }
                 first_run[i] = Some(machine.now);
-                let exit = machine.run_to_completion(prog, &mut t.ctx, max_steps_per_task)?;
-                assert_eq!(exit, Exit::Done, "task exceeded its step budget");
-                done_at[i] = Some(machine.now);
+                match machine.run_to_completion(prog, &mut t.ctx, max_steps_per_task) {
+                    Ok(Exit::Done) => done_at[i] = Some(machine.now),
+                    Ok(_) => {
+                        t.ctx.status = Status::Faulted;
+                        budget_exceeded += 1;
+                    }
+                    Err(e) => {
+                        t.ctx.status = Status::Faulted;
+                        faults.push((i, e));
+                    }
+                }
             }
         }
         SchedPolicy::SideCar | SchedPolicy::EventAware => {
@@ -146,13 +162,28 @@ pub fn run_task_queue(
                     first_run[i] = Some(machine.now);
                 }
 
-                let exit = machine.run(prog, &mut tasks[i].ctx, max_steps_per_task)?;
+                let exit = match machine.run(prog, &mut tasks[i].ctx, max_steps_per_task) {
+                    Ok(exit) => exit,
+                    Err(e) => {
+                        // Trap isolation: retire this task, keep draining.
+                        tasks[i].ctx.status = Status::Faulted;
+                        faults.push((i, e));
+                        cur = i + 1;
+                        continue;
+                    }
+                };
                 match exit {
                     Exit::Done => {
                         done_at[i] = Some(machine.now);
                         cur = i + 1;
                     }
-                    Exit::StepLimit => panic!("task {i} exceeded its step budget"),
+                    Exit::StepLimit => {
+                        // Runaway containment: the queue must keep making
+                        // progress past a task that blew its budget.
+                        tasks[i].ctx.status = Status::Faulted;
+                        budget_exceeded += 1;
+                        cur = i + 1;
+                    }
                     Exit::Stalled { .. } => unreachable!(),
                     Exit::Yielded { save_regs, .. } => {
                         if aware {
@@ -176,7 +207,18 @@ pub fn run_task_queue(
                                 if first_run[j].is_none() {
                                     first_run[j] = Some(machine.now);
                                 }
-                                let e = machine.run(prog, &mut tasks[j].ctx, max_steps_per_task)?;
+                                let e = match machine.run(
+                                    prog,
+                                    &mut tasks[j].ctx,
+                                    max_steps_per_task,
+                                ) {
+                                    Ok(e) => e,
+                                    Err(err) => {
+                                        tasks[j].ctx.status = Status::Faulted;
+                                        faults.push((j, err));
+                                        continue 'fill;
+                                    }
+                                };
                                 let elapsed = machine.now - fill_start;
                                 match e {
                                     Exit::Done => {
@@ -201,7 +243,9 @@ pub fn run_task_queue(
                                         }
                                     }
                                     Exit::StepLimit => {
-                                        panic!("task {j} exceeded its step budget")
+                                        tasks[j].ctx.status = Status::Faulted;
+                                        budget_exceeded += 1;
+                                        continue 'fill;
                                     }
                                     Exit::Stalled { .. } => unreachable!(),
                                 }
@@ -220,7 +264,11 @@ pub fn run_task_queue(
         }
     }
 
-    let mut report = SchedReport::default();
+    let mut report = SchedReport {
+        budget_exceeded,
+        faults,
+        ..SchedReport::default()
+    };
     for i in 0..n {
         if let (Some(f), Some(d)) = (first_run[i], done_at[i]) {
             report.completed += 1;
@@ -349,12 +397,72 @@ mod tests {
     }
 
     #[test]
+    fn faulting_task_is_retired_not_fatal() {
+        for p in [
+            SchedPolicy::Fifo,
+            SchedPolicy::SideCar,
+            SchedPolicy::EventAware,
+        ] {
+            let prog = task_prog();
+            let mut m = Machine::new(MachineConfig::default());
+            let mut tasks = make_tasks(&mut m, 6, 12, 200);
+            // Task 1: misaligned chase head — faults on its first load.
+            tasks[1].ctx.set_reg(Reg(0), 0x1001);
+            let r = run_task_queue(&mut m, &prog, &mut tasks, p, 1_000_000).unwrap();
+            assert_eq!(r.completed, 5, "{p:?}: healthy tasks all finish");
+            assert_eq!(r.faults.len(), 1, "{p:?}");
+            assert_eq!(r.faults[0].0, 1, "{p:?}: the sabotaged task");
+            assert!(matches!(r.faults[0].1, ExecError::Mem(_)), "{p:?}");
+            assert_eq!(tasks[1].ctx.status, Status::Faulted);
+        }
+    }
+
+    #[test]
+    fn runaway_task_blows_budget_but_queue_drains() {
+        // Pure compute, no yields: the runaway's first slice eats the
+        // whole step budget under every policy.
+        let prog = {
+            let mut b = ProgramBuilder::new("spin");
+            let top = b.label();
+            b.bind(top);
+            b.alu(AluOp::Sub, Reg(1), Reg(1), Reg(6), 1);
+            b.branch(Cond::Nez, Reg(1), top);
+            b.halt();
+            b.finish().unwrap()
+        };
+        for p in [
+            SchedPolicy::Fifo,
+            SchedPolicy::SideCar,
+            SchedPolicy::EventAware,
+        ] {
+            let mut m = Machine::new(MachineConfig::default());
+            let mut tasks: Vec<Task> = (0..3)
+                .map(|i| {
+                    let mut ctx = Context::new(i);
+                    ctx.set_reg(Reg(1), if i == 1 { 1 << 40 } else { 100 });
+                    ctx.set_reg(Reg(6), 1);
+                    Task {
+                        ctx,
+                        arrival: i as u64 * 10,
+                    }
+                })
+                .collect();
+            let r = run_task_queue(&mut m, &prog, &mut tasks, p, 20_000).unwrap();
+            assert_eq!(r.completed, 2, "{p:?}");
+            assert_eq!(r.budget_exceeded, 1, "{p:?}");
+            assert!(r.faults.is_empty(), "{p:?}");
+            assert_eq!(tasks[1].ctx.status, Status::Faulted, "{p:?}");
+        }
+    }
+
+    #[test]
     fn percentile_helpers() {
         let r = SchedReport {
             sojourns: vec![10, 20, 30, 40],
             service_times: vec![1, 2, 3, 4],
             makespan: 40,
             completed: 4,
+            ..SchedReport::default()
         };
         assert_eq!(r.sojourn_percentile(1.0), 40);
         assert_eq!(r.service_percentile(0.0), 1);

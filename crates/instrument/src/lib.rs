@@ -38,6 +38,7 @@ pub mod cost_model;
 pub mod counting;
 pub mod dataflow;
 pub mod dependence;
+pub mod elide;
 pub mod lint;
 pub mod liveness;
 pub mod loops;
@@ -56,6 +57,7 @@ pub use cost_model::{remap_to_origin, select_sites, smooth_profile, Policy, Site
 pub use counting::{instrument_counting, CountingInstrumented, R_COUNTER_BASE};
 pub use dataflow::{solve, DataflowProblem, Direction, Solution};
 pub use dependence::{coalesce_groups, hoistable_to_start};
+pub use elide::{elide_yields, ElideMode, ElideReport};
 pub use lint::{lint_program, Diagnostic, Level, Lint, LintOptions, LintReport};
 pub use liveness::{regset_to_string, Liveness, LivenessProblem, RegSet, ALL_REGS};
 pub use loops::{natural_loops, Dominators, NaturalLoop};

@@ -193,7 +193,12 @@ fn interval_dataflow(
             acc
         };
 
-    // Fixpoint on acc_in (monotone, bounded by cap).
+    // Fixpoint on acc_in (monotone, bounded by cap). Plain iteration
+    // climbs by one block-cost per pass, so a cheap loop body could need
+    // ~cap/cost passes to reach the target; after `nb + 2` passes any
+    // block still rising sits on a reset-free cycle — widen it straight
+    // to the cap (the unbounded verdict) and let one more sweep close
+    // the fixpoint.
     let mut iterations = 0usize;
     loop {
         let mut changed = false;
@@ -212,8 +217,15 @@ fn interval_dataflow(
             }
         }
         iterations += 1;
-        if !changed || iterations > nb + 2 {
+        if !changed || iterations > 2 * nb + 4 {
             break;
+        }
+        if iterations == nb + 2 {
+            for b in 0..nb {
+                if dirty[b] {
+                    acc_in[b] = cap;
+                }
+            }
         }
     }
 
@@ -424,17 +436,15 @@ mod tests {
 
     #[test]
     fn profile_aware_load_costs_drive_placement() {
-        // A loop with an unprofiled... rather, a load the profile says
-        // misses hard: its expected cost alone exceeds the target, so the
-        // pass treats the loop body as expensive even though statically a
-        // load is "1 cycle".
+        // Straight-line loads the profile says miss hard: their expected
+        // cost alone exceeds the target, so the pass must insert even
+        // though statically each load is "1 cycle" (and the whole
+        // sequence is far under the target).
         let mut b = ProgramBuilder::new("l");
-        let top = b.label();
-        b.bind(top);
-        b.load(Reg(4), Reg(0), 0);
-        b.alu(AluOp::Or, Reg(0), Reg(4), Reg(4), 1);
-        b.alu(AluOp::Sub, Reg(1), Reg(1), Reg(6), 1);
-        b.branch(Cond::Nez, Reg(1), top);
+        for i in 0..4i64 {
+            b.load(Reg(4), Reg(0), i * 8);
+            b.alu(AluOp::Or, Reg(5), Reg(5), Reg(4), 1);
+        }
         b.halt();
         let prog = b.finish().unwrap();
 
@@ -445,9 +455,11 @@ mod tests {
             retired: 1,
         };
         let mut profile = Profile::new("l", periods);
-        profile.retired_samples.insert(0, 100);
-        profile.l2_miss_samples.insert(0, 90);
-        profile.stall_samples.insert(0, 90 * 270);
+        for pc in [0usize, 2, 4, 6] {
+            profile.retired_samples.insert(pc, 100);
+            profile.l2_miss_samples.insert(pc, 90);
+            profile.stall_samples.insert(pc, 90 * 270);
+        }
         let origin: Vec<Option<usize>> = (0..prog.len()).map(Some).collect();
 
         let with_profile = instrument_scavenger(
@@ -461,10 +473,38 @@ mod tests {
         let without = instrument_scavenger(&prog, None, &MachineConfig::default(), &opts(300))
             .unwrap()
             .1;
-        // Statically the body is ~4 cycles: no yields needed. With the
-        // profile the load is ~244 expected cycles: the pass must insert.
+        // Statically the sequence is ~8 cycles: no yields needed. With
+        // the profile each load is ~244 expected cycles: the pass must
+        // insert.
         assert_eq!(without.yields_inserted, 0);
         assert!(with_profile.yields_inserted >= 1);
+    }
+
+    #[test]
+    fn cheap_yieldless_loop_still_gets_a_yield() {
+        // Regression for the fixpoint iteration cap: a reset-free cycle
+        // is unbounded no matter how cheap one trip is (the trip count is
+        // not statically known), so the pass must break it. The old
+        // `nb + 2` cap quit before a 4-cycle body could climb past the
+        // target, silently planning nothing.
+        let mut b = ProgramBuilder::new("cheap");
+        let top = b.label();
+        b.bind(top);
+        b.load(Reg(4), Reg(0), 0);
+        b.alu(AluOp::Or, Reg(0), Reg(4), Reg(4), 1);
+        b.alu(AluOp::Sub, Reg(1), Reg(1), Reg(6), 1);
+        b.branch(Cond::Nez, Reg(1), top);
+        b.halt();
+        let prog = b.finish().unwrap();
+
+        let (_, rep) =
+            instrument_scavenger(&prog, None, &MachineConfig::default(), &opts(300)).unwrap();
+        assert_eq!(rep.max_interval_before, None, "reset-free cycle");
+        assert!(rep.yields_inserted >= 1);
+        assert!(
+            rep.max_interval_after.is_some(),
+            "instrumented loop must be statically bounded"
+        );
     }
 
     #[test]

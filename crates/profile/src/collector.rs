@@ -102,6 +102,7 @@ pub fn collect(
     machine.lbr_enabled = true;
 
     let mut profile = Profile::new(prog.name.clone(), cfg.periods);
+    profile.fingerprint = prog.fingerprint();
     let start_sampling = machine.counters.sampling_cycles;
     let start_cycles = machine.now;
 

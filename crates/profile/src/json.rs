@@ -118,10 +118,16 @@ impl Json {
     }
 
     /// Parses JSON text.
+    ///
+    /// Never panics on malformed, truncated or adversarial input: every
+    /// failure — including nesting deeper than [`MAX_DEPTH`], which
+    /// would otherwise overflow the parser's recursion — is a typed
+    /// [`JsonError`].
     pub fn parse(s: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: s.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -231,9 +237,16 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container-nesting depth [`Json::parse`] accepts. The parser
+/// is recursive-descent; without this bound a hostile input of a few
+/// thousand `[` bytes overflows the stack (an abort, not a `Result`).
+/// Real profiles nest 4 levels deep.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -273,7 +286,14 @@ impl Parser<'_> {
     }
 
     fn value(&mut self) -> Result<Json, JsonError> {
-        match self.peek() {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError::parse(
+                format!("nesting deeper than {MAX_DEPTH}"),
+                self.pos,
+            ));
+        }
+        self.depth += 1;
+        let v = match self.peek() {
             Some(b'n') => self.expect_literal("null", Json::Null),
             Some(b't') => self.expect_literal("true", Json::Bool(true)),
             Some(b'f') => self.expect_literal("false", Json::Bool(false)),
@@ -286,7 +306,9 @@ impl Parser<'_> {
                 self.pos,
             )),
             None => Err(JsonError::parse("unexpected end of input", self.pos)),
-        }
+        };
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
@@ -481,6 +503,39 @@ mod tests {
     fn rejects_malformed_input() {
         for bad in ["", "{", "[1,", "\"x", "{\"a\" 1}", "01x", "[1] trailing"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // Without MAX_DEPTH this input blows the parser's recursion and
+        // aborts the process instead of returning Err.
+        for text in ["[".repeat(100_000), "{\"k\":".repeat(100_000)] {
+            let err = Json::parse(&text).unwrap_err();
+            assert!(err.to_string().contains("nesting"), "got: {err}");
+        }
+        // Nesting at the limit still parses.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH - 1), "]".repeat(MAX_DEPTH - 1));
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_a_typed_error() {
+        let v = Json::Object(vec![
+            ("name".into(), Json::Str("p \"q\" \\r".into())),
+            ("xs".into(), Json::Array(vec![Json::UInt(7), Json::Null])),
+            ("f".into(), Json::Float(1.25)),
+        ]);
+        let text = v.to_string();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            // Must be Err or a valid prefix-parse — never a panic. A
+            // strict prefix of this document is never valid JSON.
+            assert!(Json::parse(&text[..cut]).is_err(), "accepted cut at {cut}");
         }
     }
 }

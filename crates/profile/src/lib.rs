@@ -21,9 +21,11 @@ pub mod collector;
 pub mod json;
 pub mod lbr_analysis;
 pub mod profile;
+pub mod validate;
 
 pub use accuracy::{score, Accuracy};
 pub use collector::{collect, CollectionCost, CollectorConfig};
 pub use json::{Json, JsonError};
 pub use lbr_analysis::{BlockLatencyEstimator, RunTiming};
 pub use profile::{Periods, Profile};
+pub use validate::{validate_profile, ProfileInvalid, ProfileValidationOptions};

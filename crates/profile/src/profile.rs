@@ -9,6 +9,7 @@
 
 use crate::json::{pc_map_from_json, pc_map_to_json, Json, JsonError};
 use crate::lbr_analysis::BlockLatencyEstimator;
+use reach_sim::SplitMix64;
 use std::collections::HashMap;
 
 /// Sampling periods the profile was collected with (needed to scale
@@ -59,6 +60,11 @@ pub struct Profile {
     /// [`Profile::set_block_smoothing`]). Empty until smoothing is
     /// applied.
     pub smoothed_execs: HashMap<usize, f64>,
+    /// Fingerprint of the binary this profile was collected on
+    /// (`Program::fingerprint`); `0` means unknown provenance (e.g. a
+    /// profile from before fingerprints were recorded, or one remapped
+    /// across binaries).
+    pub fingerprint: u64,
 }
 
 impl Profile {
@@ -278,6 +284,7 @@ impl Profile {
             ),
             ("blocks".into(), self.blocks.to_json_value()),
             ("total_samples".into(), Json::UInt(self.total_samples)),
+            ("fingerprint".into(), Json::UInt(self.fingerprint)),
             (
                 "smoothed_execs".into(),
                 Json::Array(
@@ -318,7 +325,44 @@ impl Profile {
             blocks: BlockLatencyEstimator::from_json_value(v.get("blocks")?)?,
             total_samples: v.get("total_samples")?.as_u64()?,
             smoothed_execs,
+            // Absent in profiles written before provenance tracking:
+            // treat as unknown rather than rejecting the file.
+            fingerprint: match v.get("fingerprint") {
+                Ok(f) => f.as_u64()?,
+                Err(_) => 0,
+            },
         })
+    }
+
+    /// Stale-profile simulation for the fault-injection harness: moves
+    /// roughly `fraction` of each miss-sample entry to a uniformly
+    /// random PC in `[0, pc_range)`, modelling a profile whose workload
+    /// drifted since collection — the miss sites are plausible but
+    /// wrong, while provenance (same binary) still checks out.
+    /// Deterministic given `rng`; entries are visited in PC order.
+    pub fn inject_drift(&mut self, fraction: f64, pc_range: usize, rng: &mut SplitMix64) {
+        if pc_range == 0 {
+            return;
+        }
+        for map in [
+            &mut self.l2_miss_samples,
+            &mut self.l3_miss_samples,
+            &mut self.stall_samples,
+        ] {
+            let mut pcs: Vec<usize> = map.keys().copied().collect();
+            pcs.sort_unstable();
+            for pc in pcs {
+                let n = map[&pc];
+                let moved = (n as f64 * fraction).round() as u64;
+                if moved == 0 {
+                    continue;
+                }
+                let dest = rng.next_below(pc_range as u64) as usize;
+                *map.get_mut(&pc).expect("key present") -= moved;
+                *map.entry(dest).or_insert(0) += moved;
+            }
+            map.retain(|_, n| *n > 0);
+        }
     }
 }
 
@@ -465,6 +509,7 @@ mod tests {
     fn json_round_trip() {
         let mut p = sample_profile();
         p.set_block_smoothing(std::iter::once(5..7));
+        p.fingerprint = 0xDEAD_BEEF_1234_5678;
         let q = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(q.l2_miss_samples, p.l2_miss_samples);
         assert_eq!(q.l3_miss_samples, p.l3_miss_samples);
@@ -474,11 +519,68 @@ mod tests {
         assert_eq!(q.total_samples, p.total_samples);
         assert_eq!(q.periods, p.periods);
         assert_eq!(q.program, "t");
+        assert_eq!(q.fingerprint, p.fingerprint);
     }
 
     #[test]
     fn from_json_rejects_garbage() {
         assert!(Profile::from_json("not json").is_err());
         assert!(Profile::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_fingerprint() {
+        // Profiles written before provenance tracking load with
+        // fingerprint 0 (unknown) instead of being rejected.
+        let text = sample_profile().to_json().replace(",\"fingerprint\":0", "");
+        assert!(!text.contains("fingerprint"), "key really removed");
+        assert_eq!(Profile::from_json(&text).unwrap().fingerprint, 0);
+    }
+
+    #[test]
+    fn from_json_truncation_is_always_a_typed_error() {
+        let mut p = sample_profile();
+        p.set_block_smoothing(std::iter::once(5..7));
+        let text = p.to_json();
+        for cut in 0..text.len() {
+            // Every strict prefix must fail cleanly — this is the path a
+            // profile file truncated mid-write takes.
+            assert!(Profile::from_json(&text[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn from_json_byte_corruption_never_panics() {
+        let text = sample_profile().to_json();
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x20, 0x80] {
+                let mut corrupted = bytes.to_vec();
+                corrupted[i] ^= flip;
+                if let Ok(s) = String::from_utf8(corrupted) {
+                    // Result may be Ok (a flipped digit is still a valid
+                    // profile) or Err; it must never panic.
+                    let _ = Profile::from_json(&s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inject_drift_moves_miss_mass_deterministically() {
+        let mut a = sample_profile();
+        let mut b = sample_profile();
+        let total_before: u64 = a.l2_miss_samples.values().sum();
+        let mut rng_a = SplitMix64::new(11);
+        let mut rng_b = SplitMix64::new(11);
+        a.inject_drift(0.5, 64, &mut rng_a);
+        b.inject_drift(0.5, 64, &mut rng_b);
+        assert_eq!(a.l2_miss_samples, b.l2_miss_samples, "deterministic");
+        assert_eq!(a.stall_samples, b.stall_samples);
+        let total_after: u64 = a.l2_miss_samples.values().sum();
+        assert_eq!(total_before, total_after, "mass conserved");
+        // The distribution actually moved.
+        let fresh = sample_profile();
+        assert!(fresh.miss_distribution_distance(&a) > 0.0);
     }
 }

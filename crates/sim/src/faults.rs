@@ -1,0 +1,351 @@
+//! Deterministic fault injection for the observation and execution
+//! channels the paper's mechanism depends on.
+//!
+//! The pipeline trusts several lossy inputs: PEBS samples (which real
+//! hardware drops, skids, and mis-attributes), LBR rings (which
+//! truncate), profiles (which go stale), prefetch hints (which are only
+//! hints), and cooperatively-scheduled scavengers (which may elide their
+//! conditional yields or trap mid-run). A [`FaultPlan`] arms any subset
+//! of those corruption channels with per-channel intensities; a
+//! [`FaultInjector`] built from the plan is installed on a
+//! [`crate::Machine`] and consulted at each hook point.
+//!
+//! Every decision is drawn from a per-channel [`SplitMix64`] stream
+//! derived from the plan seed, so a fault schedule is a pure function of
+//! `(plan, instruction stream)`: re-running the same workload under the
+//! same plan reproduces every drop, skid, corrupted address and trap
+//! bit-for-bit. The [`FaultLog`] accumulates per-channel counts plus a
+//! rolling hash of the full schedule, which is what the determinism
+//! property tests compare.
+
+use crate::rng::SplitMix64;
+
+/// Which fault channels are armed, and how hard.
+///
+/// All probabilities are in `[0, 1]`; a channel with probability `0.0`
+/// (or `None`) never consumes randomness, so arming one channel does not
+/// perturb another channel's schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-channel decision streams.
+    pub seed: u64,
+    /// Probability that a PEBS-visible event occurrence is dropped
+    /// before any sampler sees it (counter undercount).
+    pub pebs_drop: f64,
+    /// Extra skid, in instructions, added to every recorded PEBS sample
+    /// on top of the sampler's configured skid.
+    pub pebs_extra_skid: u32,
+    /// Probability that a PEBS event's attributed PC is replaced by a
+    /// uniformly random PC within `pebs_pc_corrupt_range` of the true
+    /// one.
+    pub pebs_pc_corrupt: f64,
+    /// Half-width, in instructions, of the PC-corruption jitter window.
+    pub pebs_pc_corrupt_range: u32,
+    /// Probability that a taken-branch record is silently not entered
+    /// into the LBR ring (ring truncation).
+    pub lbr_drop: f64,
+    /// Probability that a prefetch hint's effective address is redirected
+    /// to a nearby wrong cache line.
+    pub prefetch_corrupt: f64,
+    /// Maximum distance, in cache lines, of a corrupted prefetch from
+    /// its true target.
+    pub prefetch_corrupt_lines: u32,
+    /// Inject a trap (an [`crate::ExecError`] delivered at an
+    /// instruction boundary) every `n` instructions attempted on the
+    /// machine, across all contexts.
+    pub trap_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with every channel disarmed (the identity injector).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            pebs_drop: 0.0,
+            pebs_extra_skid: 0,
+            pebs_pc_corrupt: 0.0,
+            pebs_pc_corrupt_range: 8,
+            lbr_drop: 0.0,
+            prefetch_corrupt: 0.0,
+            prefetch_corrupt_lines: 16,
+            trap_every: None,
+        }
+    }
+
+    /// Arms PEBS sample dropping with probability `p`.
+    pub fn with_pebs_drop(mut self, p: f64) -> Self {
+        self.pebs_drop = p;
+        self
+    }
+
+    /// Arms PEBS skid inflation by `skid` extra instructions.
+    pub fn with_pebs_extra_skid(mut self, skid: u32) -> Self {
+        self.pebs_extra_skid = skid;
+        self
+    }
+
+    /// Arms PEBS PC corruption with probability `p` within `range`.
+    pub fn with_pebs_pc_corrupt(mut self, p: f64, range: u32) -> Self {
+        self.pebs_pc_corrupt = p;
+        self.pebs_pc_corrupt_range = range;
+        self
+    }
+
+    /// Arms LBR record truncation with probability `p`.
+    pub fn with_lbr_drop(mut self, p: f64) -> Self {
+        self.lbr_drop = p;
+        self
+    }
+
+    /// Arms prefetch-address corruption with probability `p`, redirecting
+    /// up to `lines` cache lines away.
+    pub fn with_prefetch_corrupt(mut self, p: f64, lines: u32) -> Self {
+        self.prefetch_corrupt = p;
+        self.prefetch_corrupt_lines = lines;
+        self
+    }
+
+    /// Arms trap injection every `n` attempted instructions.
+    pub fn with_trap_every(mut self, n: u64) -> Self {
+        self.trap_every = Some(n);
+        self
+    }
+
+    /// True if no channel is armed.
+    pub fn is_none(&self) -> bool {
+        self.pebs_drop == 0.0
+            && self.pebs_extra_skid == 0
+            && self.pebs_pc_corrupt == 0.0
+            && self.lbr_drop == 0.0
+            && self.prefetch_corrupt == 0.0
+            && self.trap_every.is_none()
+    }
+}
+
+/// What the injector actually did: per-channel counts plus a rolling
+/// hash over the exact schedule (channel, decision, payload), used to
+/// check bit-identical replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// PEBS-visible event occurrences suppressed.
+    pub pebs_events_dropped: u64,
+    /// PEBS events whose attributed PC was corrupted.
+    pub pebs_pcs_corrupted: u64,
+    /// LBR records silently not entered.
+    pub lbr_records_dropped: u64,
+    /// Prefetch hints redirected to a wrong line.
+    pub prefetches_corrupted: u64,
+    /// Traps delivered at instruction boundaries.
+    pub traps_injected: u64,
+    /// Rolling hash of every fault decision in order.
+    pub schedule_hash: u64,
+}
+
+impl FaultLog {
+    fn mix(&mut self, channel: u64, payload: u64) {
+        // SplitMix64 finalizer over (hash ^ channel ^ payload): cheap,
+        // stable, and order-sensitive.
+        let mut z = self
+            .schedule_hash
+            .wrapping_add(channel.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(payload);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.schedule_hash = z ^ (z >> 31);
+    }
+}
+
+const CH_PEBS: u64 = 1;
+const CH_LBR: u64 = 2;
+const CH_PREFETCH: u64 = 3;
+const CH_TRAP: u64 = 4;
+
+/// The runtime half of a [`FaultPlan`]: owns the per-channel decision
+/// streams and the [`FaultLog`]. Install on a machine via
+/// [`crate::Machine::faults`].
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    /// The plan this injector executes.
+    pub plan: FaultPlan,
+    rng_pebs: SplitMix64,
+    rng_lbr: SplitMix64,
+    rng_prefetch: SplitMix64,
+    insts_attempted: u64,
+    next_trap_at: Option<u64>,
+    /// What has been injected so far.
+    pub log: FaultLog,
+}
+
+impl FaultInjector {
+    /// Builds the injector for `plan`. Each channel gets an independent
+    /// SplitMix64 stream derived from the plan seed.
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut root = SplitMix64::new(plan.seed);
+        let rng_pebs = SplitMix64::new(root.next_u64());
+        let rng_lbr = SplitMix64::new(root.next_u64());
+        let rng_prefetch = SplitMix64::new(root.next_u64());
+        FaultInjector {
+            next_trap_at: plan.trap_every,
+            plan,
+            rng_pebs,
+            rng_lbr,
+            rng_prefetch,
+            insts_attempted: 0,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// PEBS channel: returns `None` to drop the event occurrence
+    /// entirely, or the (possibly corrupted) PC plus the extra skid to
+    /// apply.
+    pub fn corrupt_pebs(&mut self, pc: usize) -> Option<(usize, u32)> {
+        if self.plan.pebs_drop > 0.0 && self.rng_pebs.next_f64() < self.plan.pebs_drop {
+            self.log.pebs_events_dropped += 1;
+            self.log.mix(CH_PEBS, pc as u64);
+            return None;
+        }
+        let mut out_pc = pc;
+        if self.plan.pebs_pc_corrupt > 0.0 && self.rng_pebs.next_f64() < self.plan.pebs_pc_corrupt {
+            let range = self.plan.pebs_pc_corrupt_range.max(1) as u64;
+            let jitter = self.rng_pebs.next_below(2 * range + 1) as i64 - range as i64;
+            out_pc = pc.saturating_add_signed(jitter as isize);
+            self.log.pebs_pcs_corrupted += 1;
+            self.log.mix(CH_PEBS, out_pc as u64 ^ 0x5A5A);
+        }
+        Some((out_pc, self.plan.pebs_extra_skid))
+    }
+
+    /// LBR channel: true if this taken-branch record should be dropped.
+    pub fn drop_lbr(&mut self, from: usize, to: usize) -> bool {
+        if self.plan.lbr_drop > 0.0 && self.rng_lbr.next_f64() < self.plan.lbr_drop {
+            self.log.lbr_records_dropped += 1;
+            self.log.mix(CH_LBR, (from as u64) << 32 | to as u64);
+            return true;
+        }
+        false
+    }
+
+    /// Prefetch channel: possibly redirects a prefetch hint to a nearby
+    /// wrong cache line. Line-aligned offsets keep the corrupted address
+    /// well-formed (prefetches are architectural no-ops either way).
+    pub fn corrupt_prefetch(&mut self, ea: u64) -> u64 {
+        if self.plan.prefetch_corrupt > 0.0
+            && self.rng_prefetch.next_f64() < self.plan.prefetch_corrupt
+        {
+            let lines = u64::from(self.plan.prefetch_corrupt_lines.max(1));
+            let off = (1 + self.rng_prefetch.next_below(lines)) * 64;
+            let wrong = if self.rng_prefetch.next_u64() & 1 == 0 {
+                ea.wrapping_add(off)
+            } else {
+                ea.wrapping_sub(off)
+            };
+            self.log.prefetches_corrupted += 1;
+            self.log.mix(CH_PREFETCH, wrong);
+            return wrong;
+        }
+        ea
+    }
+
+    /// Trap channel: called once per attempted instruction; true when a
+    /// trap must be delivered at this boundary.
+    pub fn should_trap(&mut self) -> bool {
+        self.insts_attempted += 1;
+        match self.next_trap_at {
+            Some(at) if self.insts_attempted >= at => {
+                self.next_trap_at = self.plan.trap_every.map(|n| self.insts_attempted + n);
+                self.log.traps_injected += 1;
+                self.log.mix(CH_TRAP, self.insts_attempted);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_is_identity() {
+        let mut fi = FaultInjector::new(FaultPlan::none(1));
+        for pc in 0..100 {
+            assert_eq!(fi.corrupt_pebs(pc), Some((pc, 0)));
+            assert!(!fi.drop_lbr(pc, pc + 1));
+            assert_eq!(fi.corrupt_prefetch(pc as u64 * 64), pc as u64 * 64);
+            assert!(!fi.should_trap());
+        }
+        assert_eq!(fi.log, FaultLog::default());
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_schedules() {
+        let plan = FaultPlan::none(42)
+            .with_pebs_drop(0.3)
+            .with_pebs_pc_corrupt(0.2, 4)
+            .with_lbr_drop(0.5)
+            .with_prefetch_corrupt(0.4, 8)
+            .with_trap_every(17);
+        let run = |plan: FaultPlan| {
+            let mut fi = FaultInjector::new(plan);
+            let mut out = Vec::new();
+            for i in 0..500u64 {
+                out.push((
+                    fi.corrupt_pebs(i as usize),
+                    fi.drop_lbr(i as usize, 0),
+                    fi.corrupt_prefetch(i * 64),
+                    fi.should_trap(),
+                ));
+            }
+            (out, fi.log)
+        };
+        let (a, la) = run(plan);
+        let (b, lb) = run(plan);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert_ne!(la.schedule_hash, 0);
+        // A different seed gives a different schedule.
+        let (_, lc) = run(FaultPlan { seed: 43, ..plan });
+        assert_ne!(la.schedule_hash, lc.schedule_hash);
+    }
+
+    #[test]
+    fn channels_are_independent_streams() {
+        // Arming the LBR channel must not change the PEBS schedule.
+        let base = FaultPlan::none(7).with_pebs_drop(0.5);
+        let both = base.with_lbr_drop(0.5);
+        let mut a = FaultInjector::new(base);
+        let mut b = FaultInjector::new(both);
+        for pc in 0..200 {
+            // Interleave LBR draws in b only.
+            b.drop_lbr(pc, 0);
+            assert_eq!(a.corrupt_pebs(pc), b.corrupt_pebs(pc));
+        }
+    }
+
+    #[test]
+    fn trap_period_is_exact() {
+        let mut fi = FaultInjector::new(FaultPlan::none(1).with_trap_every(10));
+        let mut traps = Vec::new();
+        for i in 1..=50u64 {
+            if fi.should_trap() {
+                traps.push(i);
+            }
+        }
+        assert_eq!(traps, vec![10, 20, 30, 40, 50]);
+        assert_eq!(fi.log.traps_injected, 5);
+    }
+
+    #[test]
+    fn corrupt_prefetch_stays_line_aligned() {
+        let mut fi = FaultInjector::new(FaultPlan::none(3).with_prefetch_corrupt(1.0, 4));
+        for i in 0..100u64 {
+            let ea = 0x10_0000 + i * 8;
+            let wrong = fi.corrupt_prefetch(ea);
+            assert_ne!(wrong, ea);
+            assert_eq!(wrong % 8, ea % 8, "word alignment preserved");
+            assert_eq!((wrong as i64 - ea as i64) % 64, 0, "whole-line offsets");
+        }
+        assert_eq!(fi.log.prefetches_corrupted, 100);
+    }
+}

@@ -423,6 +423,29 @@ impl Program {
         self.insts.is_empty()
     }
 
+    /// A stable 64-bit fingerprint of the instruction stream (FNV-1a
+    /// over a canonical rendering of every instruction). Profiles record
+    /// the fingerprint of the binary they were collected on so the
+    /// pipeline can reject a profile replayed against a different binary
+    /// (provenance check). The name is deliberately excluded: renaming a
+    /// program does not invalidate its profile, editing its code does.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+        let mut h = eat(
+            0xCBF2_9CE4_8422_2325,
+            &(self.insts.len() as u64).to_le_bytes(),
+        );
+        for inst in &self.insts {
+            h = eat(h, format!("{inst:?}").as_bytes());
+        }
+        h
+    }
+
     /// Checks structural well-formedness: non-empty, all branch/call
     /// targets in range, all register operands valid, the last instruction
     /// cannot fall through off the end, and ALU latencies are non-zero.

@@ -48,6 +48,7 @@ pub mod cache;
 pub mod config;
 pub mod context;
 pub mod counters;
+pub mod faults;
 pub mod isa;
 pub mod lbr;
 pub mod machine;
@@ -61,6 +62,7 @@ pub use cache::{Access, AccessKind, CacheStats, Hierarchy, Level};
 pub use config::{CacheLevelConfig, MachineConfig};
 pub use context::{Context, ContextStats, Mode, Status};
 pub use counters::{PcStats, PerfCounters};
+pub use faults::{FaultInjector, FaultLog, FaultPlan};
 pub use isa::{AluOp, Cond, Inst, Program, ProgramBuilder, ProgramError, Reg, YieldKind};
 pub use lbr::{BranchRecord, Lbr, StraightRun};
 pub use machine::{ExecError, Exit, Machine, SwitchKind};

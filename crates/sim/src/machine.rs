@@ -13,6 +13,7 @@ use crate::cache::{AccessKind, Hierarchy, Level};
 use crate::config::MachineConfig;
 use crate::context::{Context, Mode, PendingLoad, Status, MAX_CALL_DEPTH};
 use crate::counters::PerfCounters;
+use crate::faults::FaultInjector;
 use crate::isa::{Inst, Program, YieldKind, NUM_REGS};
 use crate::lbr::Lbr;
 use crate::mem::{MemError, Memory};
@@ -80,6 +81,12 @@ pub enum ExecError {
     },
     /// The context had already halted or faulted.
     NotRunnable,
+    /// A trap delivered at an instruction boundary by the fault-injection
+    /// plan (see [`crate::faults::FaultPlan::trap_every`]).
+    InjectedFault {
+        /// PC at which the trap was delivered.
+        pc: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -90,6 +97,7 @@ impl std::fmt::Display for ExecError {
             ExecError::RetEmptyStack { pc } => write!(f, "ret with empty stack at pc {pc}"),
             ExecError::BadPc { pc } => write!(f, "pc {pc} outside program"),
             ExecError::NotRunnable => write!(f, "context is not runnable"),
+            ExecError::InjectedFault { pc } => write!(f, "injected fault at pc {pc}"),
         }
     }
 }
@@ -127,6 +135,10 @@ pub struct Machine {
     /// Optional execution trace (off by default; set to
     /// `Some(Trace::new(n))` to record the last `n` steps).
     pub trace: Option<Trace>,
+    /// Optional deterministic fault injector (off by default; install
+    /// `Some(FaultInjector::new(plan))` to corrupt the observation and
+    /// execution channels the plan arms).
+    pub faults: Option<FaultInjector>,
 }
 
 impl Machine {
@@ -148,6 +160,7 @@ impl Machine {
             lbr_enabled: false,
             switch_on_stall: false,
             trace: None,
+            faults: None,
         }
     }
 
@@ -174,6 +187,17 @@ impl Machine {
         if self.samplers.is_empty() || n == 0 {
             return;
         }
+        // The fault injector sits between the event and the PMU: it can
+        // drop the occurrence outright, mis-attribute its PC, or inflate
+        // skid — exactly the lies real PEBS hardware tells.
+        let (pc, extra_skid) = match &mut self.faults {
+            Some(fi) => match fi.corrupt_pebs(pc) {
+                Some(v) => v,
+                None => return,
+            },
+            None => (pc, 0),
+        };
+        let pc = pc + extra_skid as usize;
         let now = self.now;
         let mut taken = 0;
         for s in &mut self.samplers {
@@ -186,6 +210,20 @@ impl Machine {
             self.counters.sampling_cycles += cost;
             self.now += cost;
         }
+    }
+
+    /// Records a taken control transfer into the LBR, unless disabled or
+    /// dropped by the fault injector (ring truncation).
+    fn record_branch(&mut self, from: usize, to: usize) {
+        if !self.lbr_enabled {
+            return;
+        }
+        if let Some(fi) = &mut self.faults {
+            if fi.drop_lbr(from, to) {
+                return;
+            }
+        }
+        self.lbr.record(from, to, self.now);
     }
 
     /// Charges `c` cycles of useful work.
@@ -240,6 +278,12 @@ impl Machine {
     pub fn step(&mut self, prog: &Program, ctx: &mut Context) -> Result<Option<Exit>, ExecError> {
         if ctx.status != Status::Runnable {
             return Err(ExecError::NotRunnable);
+        }
+        if let Some(fi) = &mut self.faults {
+            if fi.should_trap() {
+                ctx.status = Status::Faulted;
+                return Err(ExecError::InjectedFault { pc: ctx.pc });
+            }
         }
         if ctx.stats.started_at.is_none() {
             ctx.stats.started_at = Some(self.now);
@@ -335,6 +379,12 @@ impl Machine {
             }
             Inst::Prefetch { addr, offset } => {
                 let ea = ctx.reg(addr).wrapping_add_signed(offset);
+                // A corrupted hint warms the wrong line; the later demand
+                // load still reads the true address, so semantics hold.
+                let ea = match &mut self.faults {
+                    Some(fi) => fi.corrupt_prefetch(ea),
+                    None => ea,
+                };
                 let access = self.hier.access(ea, self.now, AccessKind::Prefetch);
                 ctx.last_prefetch_level = Some(access.level);
                 ctx.pc += 1;
@@ -346,9 +396,7 @@ impl Machine {
                 let taken = cond.eval(ctx.reg(src));
                 self.busy(1);
                 if taken {
-                    if self.lbr_enabled {
-                        self.lbr.record(pc, target, self.now);
-                    }
+                    self.record_branch(pc, target);
                     ctx.pc = target;
                 } else {
                     ctx.pc += 1;
@@ -361,9 +409,7 @@ impl Machine {
                 }
                 ctx.call_stack.push(pc + 1);
                 self.busy(2);
-                if self.lbr_enabled {
-                    self.lbr.record(pc, target, self.now);
-                }
+                self.record_branch(pc, target);
                 ctx.pc = target;
             }
             Inst::Ret => {
@@ -372,9 +418,7 @@ impl Machine {
                     return Err(ExecError::RetEmptyStack { pc });
                 };
                 self.busy(2);
-                if self.lbr_enabled {
-                    self.lbr.record(pc, ret, self.now);
-                }
+                self.record_branch(pc, ret);
                 ctx.pc = ret;
             }
             Inst::Yield { kind, save_regs } => {
@@ -972,6 +1016,72 @@ mod tests {
         let mut m = machine();
         m.advance_idle(600);
         assert!((m.elapsed_ns() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_trap_faults_the_running_context() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let mut b = ProgramBuilder::new("trap");
+        let top = b.label();
+        b.bind(top);
+        b.alu(AluOp::Add, Reg(0), Reg(0), Reg(0), 1);
+        b.jump(top);
+        let p = b.finish().unwrap();
+        let mut m = machine();
+        m.faults = Some(FaultInjector::new(FaultPlan::none(1).with_trap_every(25)));
+        let mut ctx = Context::new(0);
+        let err = m.run(&p, &mut ctx, 1000);
+        assert!(matches!(err, Err(ExecError::InjectedFault { .. })));
+        assert_eq!(ctx.status, Status::Faulted);
+        assert_eq!(m.faults.as_ref().unwrap().log.traps_injected, 1);
+    }
+
+    #[test]
+    fn pebs_drop_fault_starves_the_sampler() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let mut b = ProgramBuilder::new("drop");
+        b.imm(Reg(0), 0x8000);
+        for i in 0..8 {
+            b.load(Reg(1), Reg(0), i * 64);
+        }
+        b.halt();
+        let p = b.finish().unwrap();
+        let mut m = machine();
+        m.faults = Some(FaultInjector::new(FaultPlan::none(9).with_pebs_drop(1.0)));
+        let idx = m.add_sampler(PebsConfig {
+            event: HwEvent::LoadL2Miss,
+            period: 1,
+            skid: 0,
+            buffer_capacity: 64,
+        });
+        let mut ctx = Context::new(0);
+        m.run(&p, &mut ctx, 100).unwrap();
+        assert!(m.take_samples(idx).is_empty(), "every event dropped");
+        assert!(m.faults.as_ref().unwrap().log.pebs_events_dropped > 0);
+        assert_eq!(ctx.status, Status::Done, "faults only hit the PMU path");
+    }
+
+    #[test]
+    fn lbr_drop_fault_truncates_the_ring() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let mut b = ProgramBuilder::new("lbrdrop");
+        let r = Reg(0);
+        let one = Reg(1);
+        b.imm(r, 20).imm(one, 1);
+        let top = b.label();
+        b.bind(top);
+        b.alu(AluOp::Sub, r, r, one, 1);
+        b.branch(Cond::Nez, r, top);
+        b.halt();
+        let p = b.finish().unwrap();
+        let mut m = machine();
+        m.lbr_enabled = true;
+        m.faults = Some(FaultInjector::new(FaultPlan::none(5).with_lbr_drop(0.5)));
+        let mut ctx = Context::new(0);
+        m.run(&p, &mut ctx, 1000).unwrap();
+        let dropped = m.faults.as_ref().unwrap().log.lbr_records_dropped;
+        assert!(dropped > 0, "some records dropped");
+        assert_eq!(m.lbr.recorded + dropped, 19, "19 taken back-edges total");
     }
 
     #[test]

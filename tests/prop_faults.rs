@@ -1,0 +1,143 @@
+//! Property tests: fault injection is deterministic.
+//!
+//! Every fault schedule is a pure function of the [`FaultPlan`] — each
+//! channel draws from its own SplitMix64 stream derived from the plan
+//! seed. Running the same faulty pipeline + hardened dual-mode run twice
+//! under an identical plan must therefore produce bit-identical fault
+//! logs (including the running `schedule_hash`), the same degradation
+//! rung and reasons, the same instrumented binary, and the same runtime
+//! report — the replayability guarantee the whole harness rests on.
+
+use proptest::prelude::*;
+use reach_core::{
+    pgo_pipeline_degrading, run_dual_mode, DegradeOptions, DualModeOptions, WatchdogOptions,
+};
+use reach_sim::{FaultInjector, FaultLog, FaultPlan, Machine, MachineConfig, Program};
+use reach_workloads::{build_chase, AddrAlloc, ChaseParams};
+
+/// Arbitrary fault plans: every channel's knob drawn independently, so
+/// cases cover single-channel and mixed-channel schedules.
+fn gen_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        (any::<u64>(), 0.0..1.0f64, 0u32..24),
+        (0.0..1.0f64, 1u32..32),
+        0.0..1.0f64,
+        (0.0..1.0f64, 1u32..64),
+        (any::<bool>(), 500u64..5_000).prop_map(|(t, n)| t.then_some(n)),
+    )
+        .prop_map(|((seed, drop, skid), (pcp, pcr), lbr, (pfp, pfl), trap)| {
+            let mut plan = FaultPlan::none(seed)
+                .with_pebs_drop(drop)
+                .with_pebs_extra_skid(skid)
+                .with_pebs_pc_corrupt(pcp, pcr)
+                .with_lbr_drop(lbr)
+                .with_prefetch_corrupt(pfp, pfl);
+            if let Some(n) = trap {
+                plan = plan.with_trap_every(n);
+            }
+            plan
+        })
+}
+
+/// Everything observable from one faulty build + run. Two executions
+/// under the same plan must compare equal on all of it.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    pipeline_log: FaultLog,
+    eval_log: FaultLog,
+    rung: String,
+    reasons: String,
+    prog: Program,
+    primary_latency: Option<u64>,
+    total_cycles: u64,
+    fill_times: Vec<u64>,
+    overruns: u64,
+    quarantined: Vec<usize>,
+    context_faults: String,
+}
+
+/// Builds a small pointer chase, runs the degrading pipeline on a
+/// fault-armed machine, then the hardened dual-mode executor on a second
+/// fault-armed machine, and collects every observable output.
+fn observe(plan: FaultPlan) -> Observation {
+    // Large enough that a healthy profile passes the ladder's default
+    // validation (sample count / load coverage), small enough to keep
+    // two dozen proptest cases fast.
+    let params = ChaseParams {
+        nodes: 256,
+        hops: 512,
+        ..ChaseParams::default()
+    };
+
+    // Build: degrading pipeline under profiling-side faults.
+    let mut pm = Machine::new(MachineConfig::default());
+    let mut alloc = AddrAlloc::new(0x10_0000);
+    let pw = build_chase(&mut pm.mem, &mut alloc, params, 3);
+    pm.faults = Some(FaultInjector::new(plan));
+    let built = pgo_pipeline_degrading(
+        &mut pm,
+        &pw.prog,
+        |attempt| vec![pw.instances[2].make_context(100 + attempt as usize)],
+        &DegradeOptions::default(),
+    );
+    let pipeline_log = pm.faults.take().expect("armed above").log;
+
+    // Run: hardened dual-mode under runtime-side faults.
+    let mut em = Machine::new(MachineConfig::default());
+    let mut alloc = AddrAlloc::new(0x10_0000);
+    let ew = build_chase(&mut em.mem, &mut alloc, params, 3);
+    em.faults = Some(FaultInjector::new(plan));
+    let mut primary = ew.instances[0].make_context(0);
+    let mut scavs = vec![ew.instances[1].make_context(1)];
+    let rep = run_dual_mode(
+        &mut em,
+        &built.prog,
+        &mut primary,
+        &built.prog,
+        &mut scavs,
+        &DualModeOptions {
+            watchdog: Some(WatchdogOptions::default()),
+            isolate_faults: true,
+            ..DualModeOptions::default()
+        },
+    )
+    .expect("isolation must contain injected faults");
+
+    Observation {
+        pipeline_log,
+        eval_log: em.faults.take().expect("armed above").log,
+        rung: format!("{:?}", built.rung),
+        reasons: format!("{:?}", built.reasons),
+        prog: built.prog,
+        primary_latency: rep.primary_latency,
+        total_cycles: rep.total_cycles,
+        fill_times: rep.fill_times,
+        overruns: rep.overruns,
+        quarantined: rep.quarantined,
+        context_faults: format!("{:?}", rep.context_faults),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The core replayability property: identical plans produce
+    /// bit-identical schedules, builds, and reports.
+    #[test]
+    fn identical_plans_replay_identically(plan in gen_plan()) {
+        let a = observe(plan);
+        let b = observe(plan);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A no-fault plan never perturbs anything: the log stays at its
+    /// zero state no matter the seed.
+    #[test]
+    fn none_plan_logs_nothing(seed in any::<u64>()) {
+        let o = observe(FaultPlan::none(seed));
+        prop_assert_eq!(&o.pipeline_log, &FaultLog::default());
+        prop_assert_eq!(&o.eval_log, &FaultLog::default());
+        prop_assert_eq!(o.rung.as_str(), "FullPgo");
+        prop_assert!(o.primary_latency.is_some());
+    }
+}
