@@ -1,53 +1,20 @@
-//! Convenience runner: executes every `exp_*` harness in order and
-//! streams their output — one command to regenerate every table in
-//! EXPERIMENTS.md.
+//! In-process parallel suite runner: every experiment in the registry
+//! over one shared worker pool — one command to regenerate every table
+//! in EXPERIMENTS.md *and* every `BENCH_<experiment>.json`.
 //!
 //! ```sh
-//! cargo run --release -p reach-bench --bin exp_all
+//! cargo run --release -p reach-bench --bin exp_all -- --smoke --jobs 4
 //! ```
-
-use std::process::Command;
-
-/// The experiments, in EXPERIMENTS.md order.
-pub const EXPERIMENTS: &[&str] = &[
-    "exp_f1_spectrum",
-    "exp_t2_stall_fraction",
-    "exp_t3_switch_cost",
-    "exp_t4_concurrency",
-    "exp_t5_latency",
-    "exp_f6_manual_vs_pgo",
-    "exp_t7_policy",
-    "exp_t8_ablation",
-    "exp_f9_interyield",
-    "exp_f10_dualmode",
-    "exp_t11_sampling",
-    "exp_t12_whatif",
-    "exp_t13_scheduler",
-    "exp_t14_hw_prefetcher",
-    "exp_t15_profiling_methods",
-    "exp_t16_sfi",
-    "exp_t17_drift",
-];
+//!
+//! Flags (shared with every `exp_*` binary): `--smoke` runs the CI-sized
+//! cell subset, `--jobs N` sizes the pool (0 = all cores), `--out-dir D`
+//! places the BENCH files (`--no-out` disables), `--only a,b` restricts
+//! to named experiments. A failing cell is recorded in its report and
+//! the rest of the suite keeps running; the exit code is non-zero if any
+//! cell failed or any experiment-level bound was violated.
 
 fn main() {
-    // Sibling binaries live next to this one.
-    let me = std::env::current_exe().expect("own path");
-    let dir = me.parent().expect("binary directory");
-    let mut failures = Vec::new();
-    for exp in EXPERIMENTS {
-        println!("──────────────────────────────────────────────────── {exp}");
-        let status = Command::new(dir.join(exp))
-            .status()
-            .unwrap_or_else(|e| panic!("could not launch {exp}: {e} (build all bins first)"));
-        if !status.success() {
-            failures.push(*exp);
-        }
-        println!();
-    }
-    if failures.is_empty() {
-        println!("all {} experiments completed.", EXPERIMENTS.len());
-    } else {
-        eprintln!("FAILED: {failures:?}");
-        std::process::exit(1);
-    }
+    let all = reach_bench::experiments::all();
+    let refs: Vec<&dyn reach_bench::Experiment> = all.iter().map(|b| b.as_ref()).collect();
+    reach_bench::driver::suite_main(&refs);
 }

@@ -1,79 +1,8 @@
-//! F10 (§3.3): dual-mode execution as the scavenger pool scales.
+//! Thin wrapper: runs the [`f10_dualmode`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! A latency-sensitive primary chase co-runs with 0–8 scavenger
-//! instances. More scavengers fill more of the primary's miss windows
-//! (starved fills drop to zero) and raise machine efficiency, while the
-//! primary's latency stays within a small factor of solo — and the
-//! on-demand scale-up depth (scavengers chained per fill) reveals how
-//! many contexts one 100 ns miss actually needs when the scavengers
-//! themselves keep missing.
-
-use reach_bench::{f, fresh, pct, pgo_build, Table};
-use reach_core::{run_dual_mode, DualModeOptions, PipelineOptions};
-use reach_sim::{Context, MachineConfig};
-use reach_workloads::{build_chase, ChaseParams};
-
-const MAX_POOL: usize = 8;
-
-fn params() -> ChaseParams {
-    ChaseParams {
-        nodes: 512,
-        hops: 512,
-        node_stride: 4096,
-        work_per_hop: 60, // ~20 ns of work per hop
-        work_insts: 1,
-        seed: 0xf10,
-    }
-}
+//! [`f10_dualmode`]: reach_bench::experiments::f10_dualmode
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let build = |mem: &mut _, alloc: &mut _| build_chase(mem, alloc, params(), MAX_POOL + 2);
-    let built = pgo_build(&cfg, build, MAX_POOL + 1, &PipelineOptions::default());
-
-    // Solo latency reference.
-    let (mut m, w) = fresh(&cfg, build);
-    let solo = w.run_solo(&mut m, 0, 1 << 24).stats.latency().unwrap();
-
-    let mut t = Table::new(
-        "F10: dual-mode as the scavenger pool grows (primary = cold chase)",
-        &[
-            "scavengers",
-            "primary vs solo",
-            "starved fills",
-            "max chain/fill",
-            "mean fill (cyc)",
-            "CPU eff",
-        ],
-    );
-
-    for pool in 0..=MAX_POOL {
-        let (mut m, w) = fresh(&cfg, build);
-        let mut primary = w.instances[0].make_context(0);
-        let mut scavs: Vec<Context> = (1..=pool).map(|i| w.instances[i].make_context(i)).collect();
-        let rep = run_dual_mode(
-            &mut m,
-            &built.prog,
-            &mut primary,
-            &built.prog,
-            &mut scavs,
-            &DualModeOptions::default(),
-        )
-        .unwrap();
-        w.instances[0].assert_checksum(&primary);
-        let lat = rep.primary_latency.unwrap();
-        t.row(vec![
-            pool.to_string(),
-            format!("{}x", f(lat as f64 / solo as f64, 2)),
-            rep.starved_fills.to_string(),
-            rep.max_scavengers_per_fill.to_string(),
-            f(rep.mean_fill(), 0),
-            pct(m.counters.cpu_efficiency()),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: a handful of scavengers suffices (chains >1 show on-demand\n\
-         scale-up); primary latency stays bounded while efficiency climbs."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::f10_dualmode::F10DualMode);
 }

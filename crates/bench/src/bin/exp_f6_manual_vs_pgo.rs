@@ -1,149 +1,8 @@
-//! F6 (§2): manual CoroBase-style instrumentation vs profile-guided.
+//! Thin wrapper: runs the [`f6_manual_vs_pgo`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! The developer "decides where these events may happen and hard codes
-//! event handlers at these locations at development time" — i.e. a
-//! prefetch+yield at every pointer dereference, with a full-register save
-//! (no liveness tooling). Profile-guided instrumentation instead measures
-//! where stalls actually come from and models the gain.
-//!
-//! Three workloads separate the regimes:
-//!
-//! * **cold chase** — misses exactly where the developer expects: PGO must
-//!   *match* manual;
-//! * **hot hash probe** — the dereferences nearly always hit: manual pays
-//!   prefetch+switch on every probe for nothing, PGO inserts nothing;
-//! * **tiered sites** — four syntactically identical dereferences with
-//!   wildly different miss behaviour: the developer cannot tell them
-//!   apart, the profile can.
-
-use reach_baselines::instrument_manual;
-use reach_bench::{fresh, interleave_checked, pct, pgo_build, Table};
-use reach_core::{InterleaveOptions, PipelineOptions};
-use reach_sim::{Machine, MachineConfig, Program};
-use reach_workloads::{
-    build_chase, build_hash, build_tiered, site_load_pc, BuiltWorkload, ChaseParams, HashParams,
-    TieredParams, PROBE_LOAD_PC,
-};
-
-const N: usize = 8;
-
-struct Case {
-    name: &'static str,
-    build: reach_bench::WorkloadBuilder,
-    /// The load PCs a developer would identify as "pointer dereferences".
-    manual_pcs: Vec<usize>,
-}
-
-fn cases() -> Vec<Case> {
-    vec![
-        Case {
-            name: "cold chase",
-            build: Box::new(|mem, alloc| {
-                build_chase(
-                    mem,
-                    alloc,
-                    ChaseParams {
-                        nodes: 1024,
-                        hops: 1024,
-                        node_stride: 4096,
-                        work_per_hop: 20,
-                        work_insts: 1,
-                        seed: 0xf6,
-                    },
-                    N + 1,
-                )
-            }),
-            manual_pcs: vec![0], // the next-pointer load
-        },
-        Case {
-            name: "hot hash probe",
-            build: Box::new(|mem, alloc| {
-                build_hash(
-                    mem,
-                    alloc,
-                    HashParams {
-                        capacity: 1 << 9, // 8 KiB: L1-resident
-                        occupied: 256,
-                        lookups: 4096,
-                        hit_fraction: 1.0,
-                        seed: 0xf6,
-                    },
-                    N + 1,
-                )
-            }),
-            manual_pcs: vec![PROBE_LOAD_PC], // "the probe is a deref"
-        },
-        Case {
-            name: "tiered sites",
-            build: Box::new(|mem, alloc| {
-                build_tiered(
-                    mem,
-                    alloc,
-                    &TieredParams {
-                        iters: 8192,
-                        ..TieredParams::default()
-                    },
-                    N + 1,
-                )
-            }),
-            // All four sites look identical in the source.
-            manual_pcs: (0..4).map(site_load_pc).collect(),
-        },
-    ]
-}
-
-fn run(
-    prog: &Program,
-    build: &dyn Fn(&mut reach_sim::Memory, &mut reach_workloads::AddrAlloc) -> BuiltWorkload,
-    cfg: &MachineConfig,
-) -> (Machine, reach_core::InterleaveReport) {
-    let (mut m, w) = fresh(cfg, build);
-    let (rep, _) = interleave_checked(&mut m, prog, &w, 0..N, &InterleaveOptions::default());
-    (m, rep)
-}
+//! [`f6_manual_vs_pgo`]: reach_bench::experiments::f6_manual_vs_pgo
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let mut t = Table::new(
-        "F6: manual (CoroBase-style) vs profile-guided instrumentation",
-        &[
-            "workload",
-            "mechanism",
-            "yields fired",
-            "switch cyc",
-            "CPU eff",
-        ],
-    );
-
-    for case in cases() {
-        // Manual: developer-placed prefetch+yield, full save sets.
-        let (_, w0) = fresh(&cfg, &*case.build);
-        let (manual_prog, _) =
-            instrument_manual(&w0.prog, &case.manual_pcs).expect("manual instrumentation");
-        let (m, _) = run(&manual_prog, &*case.build, &cfg);
-        t.row(vec![
-            case.name.into(),
-            "manual".into(),
-            m.counters.yields_fired.to_string(),
-            m.counters.switch_cycles.to_string(),
-            pct(m.counters.cpu_efficiency()),
-        ]);
-
-        // PGO: the full pipeline.
-        let built = pgo_build(&cfg, &*case.build, N, &PipelineOptions::default());
-        let (m, _) = run(&built.prog, &*case.build, &cfg);
-        t.row(vec![
-            case.name.into(),
-            "profile-guided".into(),
-            m.counters.yields_fired.to_string(),
-            m.counters.switch_cycles.to_string(),
-            pct(m.counters.cpu_efficiency()),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: PGO matches manual where the developer guessed right (cold\n\
-         chase) and strictly wins where the guess is wrong (hot probe) or\n\
-         impossible to make statically (tiered sites)."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::f6_manual_vs_pgo::F6ManualVsPgo);
 }

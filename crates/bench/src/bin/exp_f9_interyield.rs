@@ -1,180 +1,8 @@
-//! F9 (§3.3): scavenger instrumentation bounds the inter-yield interval.
+//! Thin wrapper: runs the [`f9_interyield`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! Primary yields land only where misses are likely, so on a
-//! compute-heavy region "adjacent yields can be arbitrarily far apart".
-//! The scavenger pass inserts conditional yields targeting a 100 ns
-//! (300-cycle) interval, using profiled load costs for the common case
-//! and a static worst-case dataflow for the rest.
-//!
-//! A workload alternating DRAM-missing hops with a long compute burst
-//! makes the gap visible. We report the *static* worst-case bound from
-//! the pass and the *measured* distribution of gaps between fired yields
-//! of scavenger-mode coroutines.
-
-use reach_bench::{cyc_ns, fresh, pgo_build, Table};
-use reach_core::{percentile, run_interleaved, InterleaveOptions, PipelineOptions};
-use reach_instrument::ScavengerOptions;
-use reach_sim::{Context, MachineConfig, Mode};
-use reach_workloads::{build_chase, BuiltWorkload, ChaseParams};
-
-const N: usize = 8;
-
-fn params() -> ChaseParams {
-    ChaseParams {
-        nodes: 512,
-        hops: 512,
-        node_stride: 4096,
-        work_per_hop: 100, // 7 x 100 cycles: ~233 ns of compute per hop,
-        work_insts: 7,     // splittable at instruction granularity
-        seed: 0xf9,
-    }
-}
-
-fn measure(
-    prog: &reach_sim::Program,
-    cfg: &MachineConfig,
-    build: &dyn Fn(&mut reach_sim::Memory, &mut reach_workloads::AddrAlloc) -> BuiltWorkload,
-) -> Vec<u64> {
-    let (mut m, w) = fresh(cfg, build);
-    let mut ctxs: Vec<Context> = (0..N)
-        .map(|i| {
-            let mut c = w.instances[i].make_context(i);
-            c.mode = Mode::Scavenger; // conditional yields armed
-            c
-        })
-        .collect();
-    let opts = InterleaveOptions {
-        record_intervals: true,
-        ..InterleaveOptions::default()
-    };
-    let rep = run_interleaved(&mut m, prog, &mut ctxs, &opts).unwrap();
-    for (i, c) in ctxs.iter().enumerate() {
-        w.instances[i].assert_checksum(c);
-    }
-    rep.intervals
-}
+//! [`f9_interyield`]: reach_bench::experiments::f9_interyield
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let build = |mem: &mut _, alloc: &mut _| build_chase(mem, alloc, params(), N + 1);
-
-    let mut t = Table::new(
-        "F9: inter-yield interval, primary-only vs + scavenger pass (target 300 cyc = 100 ns)",
-        &["binary", "static max", "p50", "p95", "max (measured)"],
-    );
-
-    for (name, scav) in [
-        ("primary only", None),
-        (
-            "primary + scavenger",
-            Some(ScavengerOptions {
-                target_interval: 300,
-                use_liveness: true,
-            }),
-        ),
-    ] {
-        let opts = PipelineOptions {
-            scavenger: scav,
-            ..PipelineOptions::default()
-        };
-        let built = pgo_build(&cfg, build, N, &opts);
-        let static_max = match &built.scavenger_report {
-            Some(r) => r
-                .max_interval_after
-                .map(|v| cyc_ns(v, cfg.clock_ghz))
-                .unwrap_or_else(|| "unbounded".into()),
-            None => {
-                // Analyze the primary-only binary by running the pass with
-                // an enormous target (no insertions, report only).
-                let probe = reach_instrument::instrument_scavenger(
-                    &built.prog,
-                    Some((&built.profile, &built.origin)),
-                    &cfg,
-                    &ScavengerOptions {
-                        target_interval: u64::MAX / 4,
-                        use_liveness: true,
-                    },
-                )
-                .unwrap()
-                .1;
-                probe
-                    .max_interval_before
-                    .map(|v| cyc_ns(v, cfg.clock_ghz))
-                    .unwrap_or_else(|| "unbounded".into())
-            }
-        };
-        let intervals = measure(&built.prog, &cfg, &build);
-        t.row(vec![
-            name.into(),
-            static_max,
-            cyc_ns(percentile(&intervals, 0.5), cfg.clock_ghz),
-            cyc_ns(percentile(&intervals, 0.95), cfg.clock_ghz),
-            cyc_ns(intervals.iter().copied().max().unwrap_or(0), cfg.clock_ghz),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: without the scavenger pass the compute burst (~700 cyc)\n\
-         stretches the gap far past the 300-cycle target; with it, both the\n\
-         static bound and the measured tail collapse to ~the target.\n"
-    );
-
-    // Second table: the dense-vs-sparse trade-off as the target shrinks.
-    // Tighter intervals mean more conditional yields — better latency
-    // control for the primary, more check/switch overhead for the
-    // scavengers.
-    let mut t2 = Table::new(
-        "F9b: target-interval sweep (denser conditional yields cost overhead)",
-        &[
-            "target",
-            "scav yields",
-            "static max",
-            "p95 burst",
-            "checks+switch",
-        ],
-    );
-    for target in [150u64, 300, 600, 1200] {
-        let opts = PipelineOptions {
-            scavenger: Some(ScavengerOptions {
-                target_interval: target,
-                use_liveness: true,
-            }),
-            ..PipelineOptions::default()
-        };
-        let built = pgo_build(&cfg, build, N, &opts);
-        let scav = built.scavenger_report.as_ref().expect("pass ran");
-        let (mut m, w) = fresh(&cfg, build);
-        let mut ctxs: Vec<Context> = (0..N)
-            .map(|i| {
-                let mut c = w.instances[i].make_context(i);
-                c.mode = Mode::Scavenger;
-                c
-            })
-            .collect();
-        let iopts = InterleaveOptions {
-            record_intervals: true,
-            ..InterleaveOptions::default()
-        };
-        let rep = run_interleaved(&mut m, &built.prog, &mut ctxs, &iopts).unwrap();
-        for (i, c) in ctxs.iter().enumerate() {
-            w.instances[i].assert_checksum(c);
-        }
-        let overhead = (m.counters.check_cycles + m.counters.switch_cycles) as f64
-            / m.counters.total_cycles() as f64;
-        t2.row(vec![
-            cyc_ns(target, cfg.clock_ghz),
-            scav.yields_inserted.to_string(),
-            scav.max_interval_after
-                .map(|v| v.to_string())
-                .unwrap_or_else(|| "unbounded".into()),
-            percentile(&rep.intervals, 0.95).to_string(),
-            reach_bench::pct(overhead),
-        ]);
-    }
-    t2.print();
-    println!(
-        "shape: halving the target roughly doubles the conditional yields\n\
-         and their overhead — the §3.3 tension between timely yielding and\n\
-         CPU efficiency, now quantified."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::f9_interyield::F9InterYield);
 }

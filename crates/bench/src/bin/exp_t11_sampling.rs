@@ -1,81 +1,8 @@
-//! T11 (§3.2): sampling-parameter trade-offs.
+//! Thin wrapper: runs the [`t11_sampling`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! "Higher sampling frequency expedites profile collections at the cost
-//! of higher run time overhead" — and precision (skid) and buffer sizing
-//! matter too. The simulator maintains exact ground truth, so profile
-//! fidelity is directly scoreable: precision/recall of the predicted
-//! miss-PC set (at the 0.5-likelihood threshold) plus the mean absolute
-//! error of likelihood estimates, against the run-time cost of sampling.
-
-use reach_bench::{f, fresh, pct, Table};
-use reach_profile::{collect, score, CollectorConfig, Periods};
-use reach_sim::MachineConfig;
-use reach_workloads::{build_tiered, TieredParams};
+//! [`t11_sampling`]: reach_bench::experiments::t11_sampling
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let params = TieredParams {
-        iters: 16_384,
-        ..TieredParams::default()
-    };
-    let build = |mem: &mut _, alloc: &mut _| build_tiered(mem, alloc, &params, 1);
-
-    let mut t = Table::new(
-        "T11: profile fidelity vs sampling cost (tiered workload)",
-        &[
-            "periods (x base)",
-            "skid",
-            "buffer",
-            "overhead",
-            "dropped",
-            "precision",
-            "recall",
-            "MAE",
-        ],
-    );
-
-    let base = Periods::default();
-    let run = |scale: u64, skid: u32, buffer: usize, t: &mut Table| {
-        let (mut m, w) = fresh(&cfg, build);
-        let mut ctxs = w.make_contexts();
-        let ccfg = CollectorConfig {
-            periods: Periods {
-                l2_miss: base.l2_miss * scale,
-                l3_miss: base.l3_miss * scale,
-                stall: base.stall * scale,
-                retired: base.retired * scale,
-            },
-            skid,
-            buffer_capacity: buffer,
-            ..CollectorConfig::default()
-        };
-        let (mut profile, cost) = collect(&mut m, &w.prog, &mut ctxs, &ccfg).unwrap();
-        // Score with block smoothing, exactly as the instrumenter will
-        // consume it.
-        profile = reach_instrument::smooth_profile(&profile, &w.prog);
-        let acc = score(&profile, &m.counters, 0.5);
-        t.row(vec![
-            format!("{scale}x"),
-            skid.to_string(),
-            buffer.to_string(),
-            pct(cost.overhead()),
-            cost.dropped_samples.to_string(),
-            f(acc.precision, 2),
-            f(acc.recall, 2),
-            f(acc.likelihood_mae, 3),
-        ]);
-    };
-
-    for &scale in &[1u64, 4, 16, 64, 256] {
-        run(scale, 0, 4096, &mut t);
-    }
-    run(1, 4, 4096, &mut t); // skid: samples land a few instructions late
-    run(1, 16, 4096, &mut t);
-    run(1, 0, 32, &mut t); // tiny buffer: drops under bursts
-    t.print();
-    println!(
-        "shape: fidelity degrades gracefully with coarser periods while\n\
-         overhead falls; skid smears attribution across neighbouring PCs;\n\
-         undersized buffers drop samples."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t11_sampling::T11Sampling);
 }

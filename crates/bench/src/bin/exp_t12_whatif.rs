@@ -1,68 +1,8 @@
-//! T12 (§4.1): the hardware what-if — presence-probe-conditional yields.
+//! Thin wrapper: runs the [`t12_whatif`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! "Hardware support to expose events, e.g., indicating whether a cache
-//! line is in L1/L2 cache, could be highly useful here, as it allows
-//! yields to be conditional on whether targeted events actually happen."
-//!
-//! On a Zipf-skewed KV workload the instrumented value load misses only
-//! part of the time: statically-placed primary yields pay a switch on
-//! every execution, while probe-conditional yields pay only the (cheap)
-//! check on the hit path. The sweep over skew shows the win growing as
-//! the hit fraction rises.
-
-use reach_bench::{fresh, interleave_checked, pct, pgo_build, Table};
-use reach_core::{make_conditional, InterleaveOptions, PipelineOptions};
-use reach_instrument::{Policy, PrimaryOptions};
-use reach_sim::MachineConfig;
-use reach_workloads::{build_zipf_kv, ZipfKvParams};
-
-const N: usize = 8;
+//! [`t12_whatif`]: reach_bench::experiments::t12_whatif
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let mut t = Table::new(
-        "T12: static primary yields vs presence-probe conditional (zipf KV)",
-        &["skew", "binary", "yields fired", "suppressed", "CPU eff"],
-    );
-
-    for &theta in &[0.0, 0.6, 0.9, 1.1] {
-        let params = ZipfKvParams {
-            table_entries: 1 << 21,
-            lookups: 8192,
-            theta,
-            seed: 0x712,
-        };
-        let build = |mem: &mut _, alloc: &mut _| build_zipf_kv(mem, alloc, params, N + 1);
-        // Threshold policy on purpose: instrument the skewed load even at
-        // moderate likelihood, then let the probe sort hits from misses at
-        // run time (the paper's "place conditional yields at locations
-        // that often but not always incur target events").
-        let opts = PipelineOptions {
-            primary: PrimaryOptions {
-                policy: Policy::Threshold(0.2),
-                ..PrimaryOptions::default()
-            },
-            ..PipelineOptions::default()
-        };
-        let built = pgo_build(&cfg, build, N, &opts);
-        let conditional = make_conditional(&built.prog);
-
-        for (name, prog) in [("static", &built.prog), ("probe-cond", &conditional)] {
-            let (mut m, w) = fresh(&cfg, build);
-            interleave_checked(&mut m, prog, &w, 0..N, &InterleaveOptions::default());
-            t.row(vec![
-                format!("theta={theta}"),
-                name.into(),
-                m.counters.yields_fired.to_string(),
-                m.counters.yields_suppressed.to_string(),
-                pct(m.counters.cpu_efficiency()),
-            ]);
-        }
-    }
-    t.print();
-    println!(
-        "shape: at high skew most lookups hit and the probe suppresses the\n\
-         useless switches; at theta=0 nearly every lookup misses and the\n\
-         probe only adds its check cost."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t12_whatif::T12WhatIf);
 }

@@ -1,96 +1,8 @@
-//! T13 (§4.2): integrating event hiding with a µs-task scheduler.
+//! Thin wrapper: runs the [`t13_scheduler`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! A queue of short request-sized tasks (each a small instrumented chase)
-//! is served under three disciplines: FIFO run-to-completion (event
-//! agnostic), the ready-queue *side-car* (the hiding mechanism switches
-//! among whatever the scheduler exposes as ready), and the *event-aware*
-//! scheduler (the oldest task runs primary; younger tasks scavenge its
-//! stalls). Reported: makespan, sojourn percentiles, per-task service
-//! time, and machine efficiency.
-
-use reach_bench::{fresh, pct, Table};
-use reach_core::{pgo_pipeline, run_task_queue, PipelineOptions, SchedPolicy, Task};
-use reach_sim::MachineConfig;
-use reach_workloads::{build_chase, ChaseParams};
-
-const TASKS: usize = 16;
-/// Cycles between arrivals (tasks arrive faster than FIFO can serve).
-const GAP: u64 = 1000;
-
-fn params() -> ChaseParams {
-    ChaseParams {
-        nodes: 24, // ~24 DRAM hops ≈ 2.5 µs of unhidden work per task
-        hops: 24,
-        node_stride: 4096,
-        work_per_hop: 60,
-        work_insts: 1,
-        seed: 0x713,
-    }
-}
+//! [`t13_scheduler`]: reach_bench::experiments::t13_scheduler
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let build = |mem: &mut _, alloc: &mut _| build_chase(mem, alloc, params(), TASKS + 1);
-
-    // Instrument once. A 24-hop task is far too short to profile on its
-    // own, so the profiling run uses a long chase with the *same program
-    // image* (hops and layout are register data, not code).
-    let (mut pm, pw) = fresh(&cfg, build);
-    let prof_params = ChaseParams {
-        nodes: 4096,
-        hops: 4096,
-        seed: 0x9999,
-        ..params()
-    };
-    let mut palloc = reach_workloads::AddrAlloc::new(0x4000_0000);
-    let pw_long = build_chase(&mut pm.mem, &mut palloc, prof_params, 1);
-    assert_eq!(pw_long.prog, pw.prog, "same binary");
-    let mut prof = vec![pw_long.instances[0].make_context(99)];
-    let built = pgo_pipeline(&mut pm, &pw.prog, &mut prof, &PipelineOptions::default()).unwrap();
-
-    let mut t = Table::new(
-        "T13: us-scale task queue under three scheduling disciplines",
-        &[
-            "policy",
-            "makespan (cyc)",
-            "sojourn p50",
-            "sojourn p99",
-            "service p50",
-            "CPU eff",
-        ],
-    );
-
-    for (name, policy, prog) in [
-        ("FIFO (no hiding)", SchedPolicy::Fifo, &pw.prog),
-        ("side-car ready queue", SchedPolicy::SideCar, &built.prog),
-        ("event-aware", SchedPolicy::EventAware, &built.prog),
-    ] {
-        let (mut m, w) = fresh(&cfg, build);
-        let mut tasks: Vec<Task> = (0..TASKS)
-            .map(|i| Task {
-                ctx: w.instances[i].make_context(i),
-                arrival: i as u64 * GAP,
-            })
-            .collect();
-        let rep = run_task_queue(&mut m, prog, &mut tasks, policy, 1 << 22).unwrap();
-        assert_eq!(rep.completed, TASKS);
-        for task in &tasks {
-            let i = task.ctx.id;
-            w.instances[i].assert_checksum(&task.ctx);
-        }
-        t.row(vec![
-            name.into(),
-            rep.makespan.to_string(),
-            rep.sojourn_percentile(0.5).to_string(),
-            rep.sojourn_percentile(0.99).to_string(),
-            rep.service_percentile(0.5).to_string(),
-            pct(m.counters.cpu_efficiency()),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: both hiding disciplines shrink makespan and queueing; the\n\
-         event-aware scheduler additionally keeps per-task service time\n\
-         near solo (side-car stretches every task it rotates through)."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t13_scheduler::T13Scheduler);
 }

@@ -1,104 +1,8 @@
-//! T14 (extension): does a hardware stride prefetcher make the software
-//! mechanism unnecessary?
+//! Thin wrapper: runs the [`t14_hw_prefetcher`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! The paper targets events "not exposed to software" that hardware also
-//! cannot *predict* — irregular, dependent accesses. A next-line
-//! prefetcher (degree 4, streamer-style) is switched on
-//! and the unhidden stall fraction plus the PGO-coroutine efficiency are
-//! re-measured on a streaming scan (stride-predictable) and a pointer
-//! chase (unpredictable):
-//!
-//! * the prefetcher nearly eliminates the scan's stalls — hardware owns
-//!   the regular patterns, exactly why the cost model should leave them
-//!   alone;
-//! * the chase is untouched by the prefetcher, and profile-guided
-//!   coroutines hide it the same either way — the two mechanisms
-//!   complement, not compete.
-
-use reach_baselines::run_sequential;
-use reach_bench::{fresh, interleave_checked, pct, pgo_build, Table};
-use reach_core::{InterleaveOptions, PipelineOptions};
-use reach_sim::{MachineConfig, Memory};
-use reach_workloads::{build_chase, build_scan, AddrAlloc, BuiltWorkload, ChaseParams, ScanParams};
-
-const N: usize = 8;
-
-fn chase(mem: &mut Memory, alloc: &mut AddrAlloc) -> BuiltWorkload {
-    build_chase(
-        mem,
-        alloc,
-        ChaseParams {
-            nodes: 1024,
-            hops: 1024,
-            node_stride: 4096,
-            work_per_hop: 20,
-            work_insts: 1,
-            seed: 0x714,
-        },
-        N + 1,
-    )
-}
-
-fn scan(mem: &mut Memory, alloc: &mut AddrAlloc) -> BuiltWorkload {
-    build_scan(
-        mem,
-        alloc,
-        ScanParams {
-            words: 1 << 16,
-            passes: 1,
-            seed: 0x714,
-        },
-        N + 1,
-    )
-}
+//! [`t14_hw_prefetcher`]: reach_bench::experiments::t14_hw_prefetcher
 
 fn main() {
-    let mut t = Table::new(
-        "T14: hardware stream prefetcher (degree 4) vs the software mechanism",
-        &["workload", "hw pf", "stall (unhidden)", "coro+PGO eff"],
-    );
-
-    for degree in [0usize, 4] {
-        let cfg = MachineConfig {
-            hw_prefetch_degree: degree,
-            ..MachineConfig::default()
-        };
-        for (name, build) in [
-            (
-                "stream scan",
-                scan as fn(&mut Memory, &mut AddrAlloc) -> BuiltWorkload,
-            ),
-            (
-                "pointer chase",
-                chase as fn(&mut Memory, &mut AddrAlloc) -> BuiltWorkload,
-            ),
-        ] {
-            // Unhidden stall fraction.
-            let (mut m, w) = fresh(&cfg, build);
-            let mut ctxs = w.make_contexts();
-            ctxs.truncate(N);
-            run_sequential(&mut m, &w.prog, &mut ctxs, 1 << 26).unwrap();
-            let stall = m.counters.stall_fraction();
-
-            // PGO coroutines.
-            let built = pgo_build(&cfg, build, N, &PipelineOptions::default());
-            let (mut m, w) = fresh(&cfg, build);
-            interleave_checked(&mut m, &built.prog, &w, 0..N, &InterleaveOptions::default());
-            let coro = m.counters.cpu_efficiency();
-
-            t.row(vec![
-                name.into(),
-                if degree == 0 { "off" } else { "on" }.into(),
-                pct(stall),
-                pct(coro),
-            ]);
-        }
-    }
-    t.print();
-    println!(
-        "shape: the prefetcher erases the scan's (predictable) stalls and\n\
-         leaves the chase's (dependent) stalls untouched; profile-guided\n\
-         coroutines keep hiding the chase either way — the mechanisms are\n\
-         complementary, which is why the paper targets the irregular case."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t14_hw_prefetcher::T14HwPrefetcher);
 }

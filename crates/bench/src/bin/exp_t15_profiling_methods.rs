@@ -1,153 +1,10 @@
-//! T15 (§2): instrumentation-based vs sample-based profiling.
+//! Thin wrapper: runs the [`t15_profiling_methods`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! The paper's case for sampling: instrumentation-based profiling "incurs
-//! significant CPU and memory overhead" and "cannot easily support our
-//! proposal, because it is hard to obtain visibility into hardware events
-//! like L2/L3 cache misses with only instrumentation".
-//!
-//! Both collectors run over the same workloads:
-//!
-//! * **counting instrumentation** — a load/add/store counter update at
-//!   every load site: exact execution counts, zero event visibility, and
-//!   overhead paid on *every* execution (plus counter-traffic cache
-//!   pollution);
-//! * **PEBS-style sampling** — periodic samples of miss loads, stall
-//!   cycles and retired instructions: approximate counts, full event
-//!   visibility, overhead proportional to the sampling rate.
-
-use reach_bench::{fresh, pct, Table};
-use reach_instrument::{instrument_counting, R_COUNTER_BASE};
-use reach_profile::{collect, CollectorConfig};
-use reach_sim::MachineConfig;
-use reach_workloads::{
-    build_chase, build_scan, build_tiered, ChaseParams, ScanParams, TieredParams,
-};
+//! [`t15_profiling_methods`]: reach_bench::experiments::t15_profiling_methods
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let mut t = Table::new(
-        "T15: profiling method comparison (overhead and event visibility)",
-        &[
-            "workload",
-            "method",
-            "cycle overhead",
-            "inst overhead",
-            "exec counts",
-            "miss visibility",
-        ],
-    );
-
-    let cases: Vec<(&str, reach_bench::WorkloadBuilder)> = vec![
-        (
-            "pointer chase",
-            Box::new(|mem, alloc| {
-                build_chase(
-                    mem,
-                    alloc,
-                    ChaseParams {
-                        nodes: 2048,
-                        hops: 2048,
-                        node_stride: 4096,
-                        work_per_hop: 10,
-                        work_insts: 1,
-                        seed: 0x715,
-                    },
-                    1,
-                )
-            }),
-        ),
-        (
-            "tiered sites",
-            Box::new(|mem, alloc| {
-                build_tiered(
-                    mem,
-                    alloc,
-                    &TieredParams {
-                        iters: 8192,
-                        ..TieredParams::default()
-                    },
-                    1,
-                )
-            }),
-        ),
-        (
-            "warm scan (compute-bound)",
-            Box::new(|mem, alloc| {
-                build_scan(
-                    mem,
-                    alloc,
-                    ScanParams {
-                        words: 1 << 12, // 32 KiB: L1-resident once warm
-                        passes: 16,
-                        seed: 0x715,
-                    },
-                    1,
-                )
-            }),
-        ),
-    ];
-
-    for (name, build) in &cases {
-        // Clean run for the overhead baseline.
-        let (mut m, w) = fresh(&cfg, &**build);
-        w.run_solo(&mut m, 0, 1 << 26);
-        let clean_cycles = m.now;
-        let clean_insts = m.counters.instructions;
-
-        // Counting instrumentation.
-        let (mut m, w) = fresh(&cfg, &**build);
-        let counted = instrument_counting(&w.prog).expect("counting pass");
-        let counter_base = 0xF000_0000u64;
-        let mut ctx = w.instances[0].make_context(0);
-        ctx.set_reg(R_COUNTER_BASE, counter_base);
-        m.run_to_completion(&counted.prog, &mut ctx, 1 << 26)
-            .unwrap();
-        w.instances[0].assert_checksum(&ctx);
-        let counting_overhead = (m.now as f64 - clean_cycles as f64) / clean_cycles as f64;
-        let inst_overhead =
-            (m.counters.instructions as f64 - clean_insts as f64) / clean_insts as f64;
-        let total_counted: u64 = counted
-            .read_counts(&m, counter_base)
-            .unwrap()
-            .iter()
-            .map(|&(_, n)| n)
-            .sum();
-        t.row(vec![
-            (*name).into(),
-            "counting instr.".into(),
-            pct(counting_overhead),
-            pct(inst_overhead),
-            format!("exact ({total_counted})"),
-            "none".into(),
-        ]);
-
-        // Sample-based collector.
-        let (mut m, w) = fresh(&cfg, &**build);
-        let mut ctxs = w.make_contexts();
-        let (profile, cost) =
-            collect(&mut m, &w.prog, &mut ctxs, &CollectorConfig::default()).unwrap();
-        let est_total: f64 = profile
-            .retired_samples
-            .values()
-            .map(|&n| n as f64 * profile.periods.retired as f64)
-            .sum();
-        let miss_sites = profile.l2_miss_samples.len();
-        t.row(vec![
-            (*name).into(),
-            "PEBS sampling".into(),
-            pct(cost.overhead()),
-            "0.0%".into(),
-            format!("~est ({est_total:.0})"),
-            format!("{miss_sites} miss sites + stalls"),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: on stall-bound code the counter updates hide behind misses,\n\
-         but on compute-bound code counting inflates run time severely —\n\
-         and in every case it sees no hardware events: execution counts\n\
-         alone cannot say which loads miss. Sampling's overhead is tunable\n\
-         (T11) and it is the only method that exposes the events the\n\
-         instrumenter needs."
+    reach_bench::driver::single_main(
+        &reach_bench::experiments::t15_profiling_methods::T15ProfilingMethods,
     );
 }

@@ -1,148 +1,8 @@
-//! T16 (§4.2): coroutine isolation — SFI overhead with and without miss
-//! hiding.
+//! Thin wrapper: runs the [`t16_sfi`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! The paper notes the mechanism "can co-exist with either isolation
-//! mechanism" and asks "whether a co-design of SFI and our proposal can
-//! help reduce the runtime overhead of SFI". First-order numbers: the SFI
-//! pass (address masking before every memory access) is applied below and
-//! measured under the plain sequential run and under profile-guided
-//! coroutine interleaving.
-//!
-//! The shape worth knowing: on a stall-dominated run SFI's checks hide in
-//! the shadow of the misses (tiny relative cost); once the mechanism
-//! hides the misses, the run becomes busy-bound and SFI's checks surface
-//! at their full instruction cost. Isolation is cheap exactly when the
-//! CPU is being wasted — one more reason to co-design the two rewriters
-//! (both passes share the same decode/CFG machinery here).
-
-use reach_baselines::run_sequential;
-use reach_bench::{f, fresh, pct, Table};
-use reach_core::{pgo_pipeline, run_interleaved, InterleaveOptions, PipelineOptions};
-use reach_instrument::{instrument_sfi, R_SFI_MASK};
-use reach_sim::{Context, MachineConfig, Program};
-use reach_workloads::{build_chase, BuiltWorkload, ChaseParams};
-
-const N: usize = 8;
-const MASK: u64 = u64::MAX >> 8; // generous domain: all layout addresses fit
-
-fn params() -> ChaseParams {
-    ChaseParams {
-        nodes: 1024,
-        hops: 1024,
-        node_stride: 4096,
-        work_per_hop: 20,
-        work_insts: 1,
-        seed: 0x716,
-    }
-}
-
-fn contexts(w: &BuiltWorkload, n: usize) -> Vec<Context> {
-    (0..n)
-        .map(|i| {
-            let mut c = w.instances[i].make_context(i);
-            c.set_reg(R_SFI_MASK, MASK);
-            c
-        })
-        .collect()
-}
-
-/// Builds the PGO-instrumented version of `prog`, profiling instance `N`.
-fn pgo(prog: &Program, cfg: &MachineConfig) -> Program {
-    let (mut m, w) = fresh(cfg, |mem, alloc| build_chase(mem, alloc, params(), N + 1));
-    let mut prof = vec![{
-        let mut c = w.instances[N].make_context(99);
-        c.set_reg(R_SFI_MASK, MASK);
-        c
-    }];
-    pgo_pipeline(&mut m, prog, &mut prof, &PipelineOptions::default())
-        .expect("pipeline")
-        .prog
-}
+//! [`t16_sfi`]: reach_bench::experiments::t16_sfi
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let build = |mem: &mut _, alloc: &mut _| build_chase(mem, alloc, params(), N + 1);
-
-    let (_, w0) = fresh(&cfg, build);
-    let plain = w0.prog.clone();
-    let (sfi, rep) = instrument_sfi(&plain).expect("sfi pass");
-
-    let mut t = Table::new(
-        "T16: SFI (address masking) overhead, sequential vs hidden",
-        &["binary", "executor", "cycles", "CPU eff", "SFI overhead"],
-    );
-
-    let mut seq_cycles = [0u64; 2];
-    for (k, (name, prog)) in [("plain", &plain), ("+SFI", &sfi)].iter().enumerate() {
-        let (mut m, w) = fresh(&cfg, build);
-        let mut ctxs = contexts(&w, N);
-        run_sequential(&mut m, prog, &mut ctxs, 1 << 26).unwrap();
-        for (i, c) in ctxs.iter().enumerate() {
-            w.instances[i].assert_checksum(c);
-        }
-        seq_cycles[k] = m.now;
-        let overhead = if k == 0 {
-            "-".to_string()
-        } else {
-            format!(
-                "+{}%",
-                f(
-                    (seq_cycles[1] as f64 / seq_cycles[0] as f64 - 1.0) * 100.0,
-                    1
-                )
-            )
-        };
-        t.row(vec![
-            name.to_string(),
-            "sequential".into(),
-            m.now.to_string(),
-            pct(m.counters.cpu_efficiency()),
-            overhead,
-        ]);
-    }
-
-    let mut coro_cycles = [0u64; 2];
-    for (k, (name, base)) in [("plain", &plain), ("+SFI", &sfi)].iter().enumerate() {
-        let instrumented = pgo(base, &cfg);
-        let (mut m, w) = fresh(&cfg, build);
-        let mut ctxs = contexts(&w, N);
-        let r = run_interleaved(
-            &mut m,
-            &instrumented,
-            &mut ctxs,
-            &InterleaveOptions::default(),
-        )
-        .unwrap();
-        assert_eq!(r.completed, N);
-        for (i, c) in ctxs.iter().enumerate() {
-            w.instances[i].assert_checksum(c);
-        }
-        coro_cycles[k] = m.now;
-        let overhead = if k == 0 {
-            "-".to_string()
-        } else {
-            format!(
-                "+{}%",
-                f(
-                    (coro_cycles[1] as f64 / coro_cycles[0] as f64 - 1.0) * 100.0,
-                    1
-                )
-            )
-        };
-        t.row(vec![
-            name.to_string(),
-            "coroutines+PGO".into(),
-            m.now.to_string(),
-            pct(m.counters.cpu_efficiency()),
-            overhead,
-        ]);
-    }
-
-    t.print();
-    println!(
-        "{} memory ops guarded. shape: SFI rides almost free while stalls\n\
-         dominate, and surfaces at full cost once hiding makes the run\n\
-         busy-bound — quantifying the co-design question §4.2 raises.",
-        rep.guarded
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t16_sfi::T16Sfi);
 }

@@ -1,120 +1,8 @@
-//! T17 (extension, §2): continuous PGO under workload drift.
+//! Thin wrapper: runs the [`t17_drift`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! §2 grounds the proposal in production profiling infrastructure
-//! ("Google-wide profiling", AutoFDO): profiles are collected
-//! continuously because behaviour drifts. Here the Zipf KV traffic
-//! drifts from uniform (θ=0: every lookup misses DRAM) to extremely hot
-//! (θ=2: the head is L1-resident), and the pipeline reacts:
-//!
-//! 1. instrument against the *old* profile (uniform traffic: the value
-//!    load is a guaranteed DRAM miss, clearly worth a yield);
-//! 2. production shifts; the stale binary now pays a prefetch+switch on
-//!    every lookup for loads that almost always hit — pure overhead;
-//! 3. sampling continues on the *instrumented* binary; the new samples
-//!    are folded back to original PCs ([`remap_to_origin`]) and compared
-//!    with the shipped profile — the miss-distribution distance flags the
-//!    drift;
-//! 4. re-instrumenting from the fresh profile recovers the efficiency.
-//!
-//! [`remap_to_origin`]: reach_instrument::remap_to_origin
-
-use reach_bench::{f, interleave_checked, pct, Table};
-use reach_core::InterleaveOptions;
-use reach_instrument::{instrument_primary, remap_to_origin, smooth_profile, PrimaryOptions};
-use reach_profile::{collect, CollectorConfig};
-use reach_sim::{Machine, MachineConfig};
-use reach_workloads::{build_zipf_kv, AddrAlloc, BuiltWorkload, ZipfKvParams};
-
-const N: usize = 8;
-
-fn params(theta: f64) -> ZipfKvParams {
-    ZipfKvParams {
-        table_entries: 1 << 21,
-        lookups: 8192,
-        theta,
-        seed: 0x717,
-    }
-}
-
-fn setup(theta: f64) -> (Machine, BuiltWorkload) {
-    let mut m = Machine::new(MachineConfig::default());
-    let mut alloc = AddrAlloc::new(reach_bench::LAYOUT_BASE);
-    let w = build_zipf_kv(&mut m.mem, &mut alloc, params(theta), N + 1);
-    (m, w)
-}
-
-/// Collects a raw profile of `prog` on a theta-shaped workload; returns
-/// it in `prog`'s own PC space.
-fn profile_on(theta: f64, prog: &reach_sim::Program) -> reach_profile::Profile {
-    let (mut m, w) = setup(theta);
-    let mut ctx = vec![w.instances[N].make_context(99)];
-    let (p, _) = collect(&mut m, prog, &mut ctx, &CollectorConfig::default()).unwrap();
-    p
-}
+//! [`t17_drift`]: reach_bench::experiments::t17_drift
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let mcfg = cfg.clone();
-    let (_, w0) = setup(0.0);
-    let orig = w0.prog.clone();
-
-    // Day 1: uniform traffic; profile and ship.
-    let day1_raw = profile_on(0.0, &orig);
-    let day1 = smooth_profile(&day1_raw, &orig);
-    let opts = PrimaryOptions::default();
-    let (shipped, day1_report) = instrument_primary(&orig, &day1, &mcfg, &opts).unwrap();
-
-    let mut t = Table::new(
-        "T17: continuous PGO under workload drift (zipf KV, theta 0.0 -> 2.0)",
-        &["phase", "binary", "traffic", "CPU eff", "profile distance"],
-    );
-
-    let run = |prog: &reach_sim::Program, theta: f64| -> f64 {
-        let (mut m, w) = setup(theta);
-        interleave_checked(&mut m, prog, &w, 0..N, &InterleaveOptions::default());
-        m.counters.cpu_efficiency()
-    };
-
-    t.row(vec![
-        "day 1".into(),
-        format!("PGO@0.0 ({} sites)", day1_report.sites_selected()),
-        "theta=0.0".into(),
-        pct(run(&shipped, 0.0)),
-        "-".into(),
-    ]);
-
-    // Day 2: traffic drifts hot; the shipped binary is stale overhead.
-    t.row(vec![
-        "day 2 (drifted)".into(),
-        format!("PGO@0.0 ({} sites)", day1_report.sites_selected()),
-        "theta=2.0".into(),
-        pct(run(&shipped, 2.0)),
-        "-".into(),
-    ]);
-
-    // Continuous sampling on the shipped binary under the new traffic,
-    // folded back to original PCs.
-    let day2_inst_raw = profile_on(2.0, &shipped);
-    let day2_raw = remap_to_origin(&day2_inst_raw, &day1_report.pc_map.origin);
-    let distance = day1_raw.miss_distribution_distance(&day2_raw);
-
-    // Re-instrument from the fresh profile.
-    let day2 = smooth_profile(&day2_raw, &orig);
-    let (reshipped, day2_report) = instrument_primary(&orig, &day2, &mcfg, &opts).unwrap();
-    t.row(vec![
-        "day 2 (re-PGO)".into(),
-        format!("PGO@2.0 ({} sites)", day2_report.sites_selected()),
-        "theta=2.0".into(),
-        pct(run(&reshipped, 2.0)),
-        f(distance, 2),
-    ]);
-
-    t.print();
-    println!(
-        "shape: after the drift the shipped binary pays a switch per lookup\n\
-         for loads that now hit; the remapped production samples flag the\n\
-         drift (distance {:.2}) and one re-instrumentation round strips the\n\
-         useless yields — §2's continuous-profiling loop, closed.",
-        distance
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t17_drift::T17Drift);
 }

@@ -1,137 +1,8 @@
-//! T2 (§1): "some widely-used modern applications lose more than 60% of
-//! all processor cycles due to memory-bound CPU stalls".
+//! Thin wrapper: runs the [`t2_stall_fraction`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! Measures the stall-cycle fraction of each workload run plainly (no
-//! hiding) on the default machine. The memory-bound kernels (pointer
-//! chase, large hash probe, uniform KV over a DRAM-sized table) must land
-//! above 60%; the locality controls (streaming scan, hot KV) stay below.
-
-use reach_baselines::run_sequential;
-use reach_bench::{fresh, pct, Table};
-use reach_sim::MachineConfig;
-use reach_workloads::{
-    build_chase, build_hash, build_scan, build_search, build_zipf_kv, ChaseParams, HashParams,
-    ScanParams, SearchParams, ZipfKvParams,
-};
+//! [`t2_stall_fraction`]: reach_bench::experiments::t2_stall_fraction
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let mut t = Table::new(
-        "T2: memory-bound stall fraction, unhidden (paper: >60% for modern apps)",
-        &["workload", "stall", "busy"],
-    );
-
-    let mut run = |name: &str, m: &mut reach_sim::Machine, w: &reach_workloads::BuiltWorkload| {
-        let mut ctxs = w.make_contexts();
-        run_sequential(m, &w.prog, &mut ctxs, 1 << 26).unwrap();
-        for (i, c) in ctxs.iter().enumerate() {
-            w.instances[i].assert_checksum(c);
-        }
-        t.row(vec![
-            name.to_string(),
-            pct(m.counters.stall_fraction()),
-            pct(m.counters.cpu_efficiency()),
-        ]);
-    };
-
-    {
-        let (mut m, w) = fresh(&cfg, |mem, alloc| {
-            build_chase(
-                mem,
-                alloc,
-                ChaseParams {
-                    nodes: 8192,
-                    hops: 8192,
-                    node_stride: 4096,
-                    work_per_hop: 0,
-                    work_insts: 1,
-                    seed: 0x72,
-                },
-                1,
-            )
-        });
-        run("pointer chase (DRAM)", &mut m, &w);
-    }
-    {
-        let (mut m, w) = fresh(&cfg, |mem, alloc| {
-            build_hash(
-                mem,
-                alloc,
-                HashParams {
-                    capacity: 1 << 20, // 16 MiB > L3
-                    occupied: 500_000,
-                    lookups: 4096,
-                    hit_fraction: 0.8,
-                    seed: 0x72,
-                },
-                1,
-            )
-        });
-        run("hash probe (16 MiB table)", &mut m, &w);
-    }
-    {
-        let (mut m, w) = fresh(&cfg, |mem, alloc| {
-            build_zipf_kv(
-                mem,
-                alloc,
-                ZipfKvParams {
-                    table_entries: 1 << 21,
-                    lookups: 8192,
-                    theta: 0.0, // uniform: the analytics-like worst case
-                    seed: 0x72,
-                },
-                1,
-            )
-        });
-        run("uniform KV (16 MiB values)", &mut m, &w);
-    }
-    {
-        let (mut m, w) = fresh(&cfg, |mem, alloc| {
-            build_search(
-                mem,
-                alloc,
-                SearchParams {
-                    array_len: 1 << 21,
-                    searches: 1024,
-                    seed: 0x72,
-                },
-                1,
-            )
-        });
-        run("binary search (16 MiB array)", &mut m, &w);
-    }
-    {
-        let (mut m, w) = fresh(&cfg, |mem, alloc| {
-            build_zipf_kv(
-                mem,
-                alloc,
-                ZipfKvParams {
-                    table_entries: 1 << 21,
-                    lookups: 8192,
-                    theta: 1.2, // hot head: the locality control
-                    seed: 0x72,
-                },
-                1,
-            )
-        });
-        run("skewed KV (theta=1.2)", &mut m, &w);
-    }
-    {
-        let (mut m, w) = fresh(&cfg, |mem, alloc| {
-            build_scan(
-                mem,
-                alloc,
-                ScanParams {
-                    words: 1 << 15, // 256 KiB: L2-resident once warm
-                    passes: 8,
-                    seed: 0x72,
-                },
-                1,
-            )
-        });
-        run("warm scan (256 KiB x8)", &mut m, &w);
-    }
-
-    t.print();
-    println!("claim holds if the first four rows show stall > 60%.");
+    reach_bench::driver::single_main(&reach_bench::experiments::t2_stall_fraction::T2StallFraction);
 }

@@ -1,107 +1,8 @@
-//! T3 (§1/§2): context-switch costs across mechanisms.
+//! Thin wrapper: runs the [`t3_switch_cost`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! The paper's numbers: coroutine switches < 10 ns (9 ns for Boost
-//! fcontext_t), OS thread/process switches several hundred ns to a few µs
-//! [14, 38], SMT switches effectively free but capped at 2–8 contexts.
-//! This harness reports (a) the modelled costs, (b) the *measured*
-//! per-switch cost extracted from instrumented runs (switch cycles /
-//! switches), including the liveness save-set reduction, and (c) how many
-//! registers liveness lets an instrumented chase save.
-//!
-//! The companion Criterion bench (`benches/switch_cost.rs`) measures the
-//! host machine's real resume and thread hand-off costs.
-
-use reach_bench::{cyc_ns, fresh, interleave_checked, pgo_build, Table};
-use reach_core::{InterleaveOptions, PipelineOptions, SwitchMode};
-use reach_instrument::PrimaryOptions;
-use reach_sim::isa::NUM_REGS;
-use reach_sim::MachineConfig;
-use reach_workloads::{build_chase, ChaseParams};
-
-fn params() -> ChaseParams {
-    ChaseParams {
-        nodes: 1024,
-        hops: 1024,
-        node_stride: 4096,
-        work_per_hop: 10,
-        work_insts: 1,
-        seed: 0x73,
-    }
-}
-
-const N: usize = 8;
-
-fn measured_switch(cfg: &MachineConfig, use_liveness: bool, mode: SwitchMode) -> (f64, u64) {
-    let opts = PipelineOptions {
-        primary: PrimaryOptions {
-            use_liveness,
-            ..PrimaryOptions::default()
-        },
-        ..PipelineOptions::default()
-    };
-    let build = |mem: &mut _, alloc: &mut _| build_chase(mem, alloc, params(), N + 1);
-    let built = pgo_build(cfg, build, N, &opts);
-    let (mut m, w) = fresh(cfg, build);
-    let iopts = InterleaveOptions {
-        switch: mode,
-        ..InterleaveOptions::default()
-    };
-    let (rep, _) = interleave_checked(&mut m, &built.prog, &w, 0..N, &iopts);
-    (
-        m.counters.switch_cycles as f64 / rep.switches.max(1) as f64,
-        rep.switches,
-    )
-}
+//! [`t3_switch_cost`]: reach_bench::experiments::t3_switch_cost
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let mut t = Table::new(
-        "T3: context switch cost by mechanism",
-        &["mechanism", "modelled", "measured/switch", "switches"],
-    );
-
-    // Modelled numbers straight from the configuration.
-    let full = cfg.coro_switch_cost(NUM_REGS as u8);
-    let (coro_full, s1) = measured_switch(&cfg, false, SwitchMode::Coroutine);
-    t.row(vec![
-        "coroutine (full save)".into(),
-        cyc_ns(full, cfg.clock_ghz),
-        format!("{coro_full:.1} cyc ({:.1} ns)", coro_full / cfg.clock_ghz),
-        s1.to_string(),
-    ]);
-
-    let (coro_live, s2) = measured_switch(&cfg, true, SwitchMode::Coroutine);
-    t.row(vec![
-        "coroutine (liveness save)".into(),
-        format!(
-            "{} .. {}",
-            cyc_ns(cfg.coro_switch_cost(0), cfg.clock_ghz),
-            cyc_ns(full, cfg.clock_ghz)
-        ),
-        format!("{coro_live:.1} cyc ({:.1} ns)", coro_live / cfg.clock_ghz),
-        s2.to_string(),
-    ]);
-
-    t.row(vec![
-        "SMT hardware context".into(),
-        cyc_ns(cfg.smt_switch, cfg.clock_ghz),
-        "0.0 cyc (0.0 ns)".into(),
-        "-".into(),
-    ]);
-
-    let (thread, s3) = measured_switch(&cfg, true, SwitchMode::Thread);
-    t.row(vec![
-        "OS thread".into(),
-        cyc_ns(cfg.thread_switch, cfg.clock_ghz),
-        format!("{thread:.1} cyc ({:.1} ns)", thread / cfg.clock_ghz),
-        s3.to_string(),
-    ]);
-
-    t.print();
-    println!(
-        "liveness saves {:.1} cycles per switch on this workload; the paper's\n\
-         9 ns-class coroutine switch is ~{}x cheaper than a 1 us thread switch.",
-        coro_full - coro_live,
-        (cfg.thread_switch / cfg.coro_switch_base)
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t3_switch_cost::T3SwitchCost);
 }

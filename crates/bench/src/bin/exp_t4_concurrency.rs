@@ -1,62 +1,8 @@
-//! T4 (§1): "modern CPUs have only 2 to 8 threads per physical core,
-//! which is insufficient for SMT to fully hide the latency of events like
-//! memory accesses".
+//! Thin wrapper: runs the [`t4_concurrency`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! Sweeps the degree of concurrency on a DRAM-bound 4-chain lockstep
-//! chase. The kernel is compute-light (≈6 ns of work per 100 ns of
-//! misses), so hiding needs far more than 8 contexts' worth of
-//! *switch-free* overlap — or, for coroutines, yield coalescing to
-//! amortize switches across the four independent fills. SMT stops at the
-//! hardware's 8 contexts; software coroutines keep scaling.
-
-use reach_bench::{fresh, interleave_checked, pct, pgo_build, Table};
-use reach_core::{InterleaveOptions, PipelineOptions};
-use reach_sim::{run_smt, MachineConfig};
-use reach_workloads::{build_multi_chase, MultiChaseParams};
-
-fn params() -> MultiChaseParams {
-    MultiChaseParams {
-        chains: 4,
-        nodes: 512,
-        hops: 512,
-        node_stride: 256,
-        seed: 0x74,
-    }
-}
-
-const MAX_N: usize = 64;
+//! [`t4_concurrency`]: reach_bench::experiments::t4_concurrency
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let build = |mem: &mut _, alloc: &mut _| build_multi_chase(mem, alloc, params(), MAX_N + 1);
-
-    let mut t = Table::new(
-        "T4: CPU efficiency vs degree of concurrency (4-chain DRAM chase)",
-        &["contexts", "SMT", "coroutines+PGO"],
-    );
-
-    let built = pgo_build(&cfg, build, MAX_N, &PipelineOptions::default());
-
-    for &n in &[1usize, 2, 4, 8, 16, 32, 64] {
-        let smt = if n <= cfg.smt_max_contexts {
-            let (mut m, w) = fresh(&cfg, build);
-            let mut ctxs: Vec<_> = (0..n).map(|i| w.instances[i].make_context(i)).collect();
-            run_smt(&mut m, &w.prog, &mut ctxs, 1 << 24).unwrap();
-            pct(m.counters.cpu_efficiency())
-        } else {
-            "n/a (hw limit)".to_string()
-        };
-
-        let (mut m, w) = fresh(&cfg, build);
-        interleave_checked(&mut m, &built.prog, &w, 0..n, &InterleaveOptions::default());
-        let coro = pct(m.counters.cpu_efficiency());
-
-        t.row(vec![n.to_string(), smt, coro]);
-    }
-    t.print();
-    println!(
-        "SMT is capped at {} contexts by the hardware; coalesced coroutine\n\
-         yields keep climbing well past it.",
-        cfg.smt_max_contexts
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t4_concurrency::T4Concurrency);
 }

@@ -1,163 +1,8 @@
-//! T5 (§1 + §3.3): "SMT is known to likely lead to significantly
-//! increased latencies … our proposal can simultaneously achieve low
-//! latency and high CPU efficiency."
+//! Thin wrapper: runs the [`t5_latency`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! One latency-sensitive *query* (a cold DRAM pointer chase) co-runs with
-//! 7 *batch* instances of the same binary whose working sets are cache-
-//! resident (warm chases — pure compute from the core's point of view).
-//! Measured: the query's latency inflation vs running alone, and machine
-//! CPU efficiency:
-//!
-//! * solo — reference latency, efficiency wasted on stalls;
-//! * SMT-8 co-run — fair hardware multiplexing: efficiency recovers but
-//!   the query waits its 1/8 issue share (no priority exists);
-//! * symmetric coroutines — fair software round-robin: same story;
-//! * dual-mode — the query runs primary, batch scavenges its stalls:
-//!   near-solo latency at high efficiency.
-
-use reach_bench::{f, pct, Table};
-use reach_core::{
-    pgo_pipeline, run_dual_mode, run_interleaved, DualModeOptions, InterleaveOptions,
-    PipelineOptions,
-};
-use reach_sim::{run_smt, Context, Machine, MachineConfig, Memory};
-use reach_workloads::{build_chase, AddrAlloc, BuiltWorkload, ChaseParams};
-
-const POOL: usize = 7;
-const WORK: u32 = 30;
-
-fn query_params() -> ChaseParams {
-    ChaseParams {
-        nodes: 1024,
-        hops: 1024,
-        node_stride: 4096, // page-spread: every hop misses DRAM
-        work_per_hop: WORK,
-        work_insts: 1,
-        seed: 0x75,
-    }
-}
-
-fn batch_params() -> ChaseParams {
-    ChaseParams {
-        nodes: 64, // 16 KiB: L1-resident after the first lap
-        hops: 8192,
-        node_stride: 256,
-        work_per_hop: WORK, // same program text as the query
-        work_insts: 1,
-        seed: 0x76,
-    }
-}
-
-/// Lays out 1 query instance (+1 for profiling) and `POOL` batch
-/// instances; both workloads share one program image.
-fn setup(mem: &mut Memory, alloc: &mut AddrAlloc) -> (BuiltWorkload, BuiltWorkload) {
-    let q = build_chase(mem, alloc, query_params(), 2);
-    let b = build_chase(mem, alloc, batch_params(), POOL);
-    assert_eq!(q.prog, b.prog, "same binary for query and batch");
-    (q, b)
-}
-
-fn fresh_setup(cfg: &MachineConfig) -> (Machine, BuiltWorkload, BuiltWorkload) {
-    let mut m = Machine::new(cfg.clone());
-    let mut alloc = AddrAlloc::new(reach_bench::LAYOUT_BASE);
-    let (q, b) = setup(&mut m.mem, &mut alloc);
-    (m, q, b)
-}
-
-fn contexts(q: &BuiltWorkload, b: &BuiltWorkload) -> Vec<Context> {
-    let mut v = vec![q.instances[0].make_context(0)];
-    v.extend((0..POOL).map(|i| b.instances[i].make_context(i + 1)));
-    v
-}
+//! [`t5_latency`]: reach_bench::experiments::t5_latency
 
 fn main() {
-    let cfg = MachineConfig::default();
-
-    // Instrument once, profiling the query-shaped instance.
-    let (mut pm, pq, _pb) = fresh_setup(&cfg);
-    let mut prof = vec![pq.instances[1].make_context(99)];
-    let built = pgo_pipeline(&mut pm, &pq.prog, &mut prof, &PipelineOptions::default()).unwrap();
-
-    let mut t = Table::new(
-        "T5: high-priority query latency when co-run with 7 batch instances",
-        &[
-            "mechanism",
-            "query latency (cyc)",
-            "vs solo",
-            "CPU efficiency",
-        ],
-    );
-
-    // Solo reference.
-    let (mut m, q, _b) = fresh_setup(&cfg);
-    let solo_ctx = q.run_solo(&mut m, 0, 1 << 24);
-    let solo = solo_ctx.stats.latency().unwrap();
-    t.row(vec![
-        "solo (no co-runners)".into(),
-        solo.to_string(),
-        "1.00x".into(),
-        pct(m.counters.cpu_efficiency()),
-    ]);
-
-    // SMT-8 co-run (uninstrumented binary: hardware needs no rewriting).
-    let (mut m, q, b) = fresh_setup(&cfg);
-    let mut ctxs = contexts(&q, &b);
-    let rep = run_smt(&mut m, &q.prog, &mut ctxs, 1 << 24).unwrap();
-    let smt_lat = rep.latencies[0].unwrap();
-    q.instances[0].assert_checksum(&ctxs[0]);
-    t.row(vec![
-        "SMT-8 co-run".into(),
-        smt_lat.to_string(),
-        format!("{}x", f(smt_lat as f64 / solo as f64, 2)),
-        pct(m.counters.cpu_efficiency()),
-    ]);
-
-    // Symmetric coroutine interleave over the instrumented binary.
-    let (mut m, q, b) = fresh_setup(&cfg);
-    let mut ctxs = contexts(&q, &b);
-    let rep = run_interleaved(
-        &mut m,
-        &built.prog,
-        &mut ctxs,
-        &InterleaveOptions::default(),
-    )
-    .unwrap();
-    let sym_lat = rep.latencies[0].unwrap();
-    q.instances[0].assert_checksum(&ctxs[0]);
-    t.row(vec![
-        "symmetric coroutines".into(),
-        sym_lat.to_string(),
-        format!("{}x", f(sym_lat as f64 / solo as f64, 2)),
-        pct(m.counters.cpu_efficiency()),
-    ]);
-
-    // Dual-mode: query primary, batch scavenges.
-    let (mut m, q, b) = fresh_setup(&cfg);
-    let mut primary = q.instances[0].make_context(0);
-    let mut scavs: Vec<Context> = (0..POOL)
-        .map(|i| b.instances[i].make_context(i + 1))
-        .collect();
-    let rep = run_dual_mode(
-        &mut m,
-        &built.prog,
-        &mut primary,
-        &built.prog,
-        &mut scavs,
-        &DualModeOptions::default(),
-    )
-    .unwrap();
-    q.instances[0].assert_checksum(&primary);
-    let dual_lat = rep.primary_latency.unwrap();
-    t.row(vec![
-        "dual-mode (asym. concurrency)".into(),
-        dual_lat.to_string(),
-        format!("{}x", f(dual_lat as f64 / solo as f64, 2)),
-        pct(m.counters.cpu_efficiency()),
-    ]);
-
-    t.print();
-    println!(
-        "shape: SMT and fair round-robin inflate the query several-fold; \n\
-         dual-mode keeps it near solo while efficiency stays high."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t5_latency::T5Latency);
 }

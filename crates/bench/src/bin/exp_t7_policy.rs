@@ -1,70 +1,8 @@
-//! T7 (§3.2): the yield-insertion trade-off and the policies that
-//! navigate it.
+//! Thin wrapper: runs the [`t7_policy`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! "Aggressive instrumentation minimizes CPU stalls due to uninstrumented
-//! cache misses, at the risk of incurring unnecessary overhead if a load
-//! turns out to be a cache hit." On the tiered workload, the four sites'
-//! miss likelihoods are ≈ {0, mixed, ~1, ~1} but their *stalls* differ
-//! sharply (L3-resident ≈ 4 ns visible, DRAM ≈ 90 ns): a pure likelihood
-//! threshold cannot distinguish the L3 site (likely miss, not worth a
-//! switch) from the DRAM site (likely miss, very worth it) — the
-//! quantitative gain/cost model can.
-
-use reach_bench::{fresh, interleave_checked, pct, pgo_build, Table};
-use reach_core::{InterleaveOptions, PipelineOptions};
-use reach_instrument::{Policy, PrimaryOptions};
-use reach_sim::MachineConfig;
-use reach_workloads::{build_tiered, TieredParams};
-
-const N: usize = 8;
+//! [`t7_policy`]: reach_bench::experiments::t7_policy
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let params = TieredParams {
-        iters: 8192,
-        ..TieredParams::default()
-    };
-    let build = |mem: &mut _, alloc: &mut _| build_tiered(mem, alloc, &params, N + 1);
-
-    let mut t = Table::new(
-        "T7: insertion policy sweep (tiered workload, per-site stalls differ)",
-        &["policy", "sites", "yields fired", "CPU eff"],
-    );
-
-    let run = |name: String, policy: Policy, t: &mut Table| {
-        let opts = PipelineOptions {
-            primary: PrimaryOptions {
-                policy,
-                ..PrimaryOptions::default()
-            },
-            ..PipelineOptions::default()
-        };
-        let built = pgo_build(&cfg, build, N, &opts);
-        let (mut m, w) = fresh(&cfg, build);
-        interleave_checked(&mut m, &built.prog, &w, 0..N, &InterleaveOptions::default());
-        t.row(vec![
-            name,
-            built.primary_report.sites_selected().to_string(),
-            m.counters.yields_fired.to_string(),
-            pct(m.counters.cpu_efficiency()),
-        ]);
-    };
-
-    for &thr in &[0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
-        run(format!("threshold {thr}"), Policy::Threshold(thr), &mut t);
-    }
-    run("top-1 by stall".into(), Policy::TopK(1), &mut t);
-    run("top-2 by stall".into(), Policy::TopK(2), &mut t);
-    run(
-        "cost model (margin 1.0)".into(),
-        Policy::CostModel { margin: 1.0 },
-        &mut t,
-    );
-    run("all loads".into(), Policy::All, &mut t);
-    t.print();
-    println!(
-        "shape: low thresholds over-instrument (hit sites pay switches),\n\
-         very high thresholds miss the DRAM site; the gain/cost model picks\n\
-         only the sites whose hidden stall beats the switch price."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t7_policy::T7Policy);
 }

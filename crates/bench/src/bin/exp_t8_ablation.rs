@@ -1,70 +1,8 @@
-//! T8 (§3.2): ablation of the two instrumentation optimizations —
-//! liveness-minimized save sets and yield coalescing.
+//! Thin wrapper: runs the [`t8_ablation`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
 //!
-//! On the 4-chain lockstep chase every iteration has four adjacent
-//! independent likely-miss loads. Coalescing folds their four switches
-//! into one; liveness shrinks each switch's save set from the full
-//! architectural file to the handful of live registers. The table shows
-//! all four combinations.
-
-use reach_bench::{f, fresh, interleave_checked, pct, pgo_build, Table};
-use reach_core::{InterleaveOptions, PipelineOptions};
-use reach_instrument::PrimaryOptions;
-use reach_sim::MachineConfig;
-use reach_workloads::{build_multi_chase, MultiChaseParams};
-
-const N: usize = 16;
+//! [`t8_ablation`]: reach_bench::experiments::t8_ablation
 
 fn main() {
-    let cfg = MachineConfig::default();
-    let params = MultiChaseParams {
-        chains: 4,
-        nodes: 512,
-        hops: 512,
-        node_stride: 256,
-        seed: 0x78,
-    };
-    let build = |mem: &mut _, alloc: &mut _| build_multi_chase(mem, alloc, params, N + 1);
-
-    let mut t = Table::new(
-        "T8: optimization ablation (4-chain chase, 16 coroutines)",
-        &[
-            "liveness",
-            "coalescing",
-            "yields/iter",
-            "cyc/switch",
-            "switch cyc",
-            "CPU eff",
-        ],
-    );
-
-    for &(live, coal) in &[(false, false), (false, true), (true, false), (true, true)] {
-        let opts = PipelineOptions {
-            primary: PrimaryOptions {
-                use_liveness: live,
-                coalesce: coal,
-                ..PrimaryOptions::default()
-            },
-            ..PipelineOptions::default()
-        };
-        let built = pgo_build(&cfg, build, N, &opts);
-        let (mut m, w) = fresh(&cfg, build);
-        let (rep, _) =
-            interleave_checked(&mut m, &built.prog, &w, 0..N, &InterleaveOptions::default());
-        let per_switch = m.counters.switch_cycles as f64 / rep.switches.max(1) as f64;
-        t.row(vec![
-            if live { "yes" } else { "no" }.into(),
-            if coal { "yes" } else { "no" }.into(),
-            built.primary_report.yields_inserted.to_string(),
-            f(per_switch, 1),
-            m.counters.switch_cycles.to_string(),
-            pct(m.counters.cpu_efficiency()),
-        ]);
-    }
-    t.print();
-    println!(
-        "shape: coalescing quarters the switches (4 chains per yield);\n\
-         liveness shrinks each switch; together they set the efficiency\n\
-         ceiling of the mechanism on switch-bound kernels."
-    );
+    reach_bench::driver::single_main(&reach_bench::experiments::t8_ablation::T8Ablation);
 }

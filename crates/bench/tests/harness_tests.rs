@@ -1,0 +1,200 @@
+//! End-to-end harness tests: real experiments through the parallel
+//! driver, BENCH JSON on real disk, and the `exp_all`/`bench_diff`
+//! binaries through their actual CLI surface.
+
+use reach_bench::experiments::by_name;
+use reach_bench::{
+    diff_paths, diff_reports, run_suite, BenchReport, CellStatus, DriverOptions, MetricValue,
+    Thresholds, Tier,
+};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reach_harness_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn smoke_opts(jobs: usize) -> DriverOptions {
+    DriverOptions {
+        tier: Tier::Smoke,
+        jobs,
+        out_dir: None,
+        ..DriverOptions::default()
+    }
+}
+
+type ComparableCell = (String, String, Vec<(String, String)>);
+
+/// Strips the observability-only fields that legitimately differ between
+/// runs, leaving exactly what determinism promises.
+fn comparable(r: &BenchReport) -> Vec<ComparableCell> {
+    r.cells
+        .iter()
+        .map(|c| {
+            (
+                c.cell.workload.clone(),
+                c.cell.config.clone(),
+                c.metrics
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), format!("{v:?}")))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn same_experiment_is_deterministic_across_runs_and_pool_sizes() {
+    let exp = by_name("t13_scheduler").unwrap();
+    let a = run_suite(&[exp.as_ref()], &smoke_opts(1));
+    let b = run_suite(&[exp.as_ref()], &smoke_opts(4));
+    assert_eq!(comparable(&a[0]), comparable(&b[0]));
+    assert!(a[0].cells.iter().all(|c| c.status == CellStatus::Ok));
+}
+
+#[test]
+fn bench_file_round_trips_through_disk() {
+    let exp = by_name("t8_ablation").unwrap();
+    let reports = run_suite(&[exp.as_ref()], &smoke_opts(2));
+    let dir = tmp_dir("roundtrip");
+    let path = reports[0].write_to_dir(&dir).unwrap();
+    assert_eq!(
+        path.file_name().unwrap().to_str().unwrap(),
+        "BENCH_t8_ablation.json"
+    );
+    let back = BenchReport::read_from_file(&path).unwrap();
+    assert_eq!(back.to_json().to_string(), reports[0].to_json().to_string());
+    assert_eq!(comparable(&back), comparable(&reports[0]));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_passes_within_threshold_and_fails_past_it() {
+    let exp = by_name("t8_ablation").unwrap();
+    let base = run_suite(&[exp.as_ref()], &smoke_opts(2)).remove(0);
+
+    // Identical runs diff clean even at zero tolerance.
+    let clean = diff_reports(
+        &base,
+        &base.clone(),
+        &Thresholds {
+            default_rel: 0.0,
+            ..Thresholds::default()
+        },
+    );
+    assert!(clean.ok(), "{:?}", clean.violations);
+    assert!(clean.compared > 0);
+
+    // A 5% efficiency drift passes the default 10% gate; 15% fails it.
+    for (drift, expect_ok) in [(0.95, true), (0.85, false)] {
+        let mut cur = base.clone();
+        let eff = cur.cells[0].metrics.get_f64("eff").unwrap();
+        cur.cells[0].metrics.put_f64("eff", eff * drift);
+        let d = diff_reports(&base, &cur, &Thresholds::default());
+        assert_eq!(d.ok(), expect_ok, "drift {drift}: {:?}", d.violations);
+    }
+
+    // Dropping a baseline metric from the current run is a violation.
+    let mut cur = base.clone();
+    cur.cells[0].metrics = {
+        let mut m = reach_bench::CellMetrics::new();
+        for (k, v) in base.cells[0].metrics.iter().skip(1) {
+            m.put(k, v.clone());
+        }
+        m
+    };
+    assert!(!diff_reports(&base, &cur, &Thresholds::default()).ok());
+}
+
+#[test]
+fn fault_matrix_reports_explicit_rungs_and_na_ratios() {
+    // The satellite-1 regression, end to end: a zero/zero degradation
+    // ratio must surface as NaN -> rendered "n/a", never a silent 0.0
+    // "perfect" — and the fault-matrix cells must carry their rung/why
+    // as explicit string metrics.
+    assert!(reach_core::ratio(0, 0).is_nan());
+    assert_eq!(MetricValue::Float(reach_core::ratio(5, 0)).render(), "n/a");
+
+    let exp = by_name("fault_matrix").unwrap();
+    let report = run_suite(&[exp.as_ref()], &smoke_opts(4)).remove(0);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    for c in &report.cells {
+        assert_eq!(c.status, CellStatus::Ok, "{}: {:?}", c.cell, c.status);
+        assert!(
+            matches!(c.metrics.get("rung"), Some(MetricValue::Str(_))),
+            "{}: rung must be an explicit string metric",
+            c.cell
+        );
+        assert!(
+            c.metrics.get("lat_vs_healthy").is_some(),
+            "{}: finish() must derive lat_vs_healthy",
+            c.cell
+        );
+    }
+}
+
+#[test]
+fn exp_all_binary_writes_valid_bench_files_and_gates_cleanly() {
+    let dir_a = tmp_dir("cli_a");
+    let dir_b = tmp_dir("cli_b");
+    let run = |dir: &Path, jobs: &str| {
+        let st = Command::new(env!("CARGO_BIN_EXE_exp_all"))
+            .args([
+                "--smoke",
+                "--jobs",
+                jobs,
+                "--only",
+                "t13_scheduler,t8_ablation",
+                "--out-dir",
+            ])
+            .arg(dir)
+            .status()
+            .unwrap();
+        assert!(st.success());
+    };
+    run(&dir_a, "2");
+    run(&dir_b, "4");
+
+    // Both runs produced parseable reports with the expected names.
+    for dir in [&dir_a, &dir_b] {
+        for name in ["BENCH_t13_scheduler.json", "BENCH_t8_ablation.json"] {
+            let r = BenchReport::read_from_file(&dir.join(name)).unwrap();
+            assert_eq!(r.tier, Tier::Smoke);
+            assert!(!r.cells.is_empty());
+        }
+    }
+
+    // bench_diff agrees they are identical at zero tolerance…
+    let gate = |base: &Path, cur: &Path, extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+            .arg(base)
+            .arg(cur)
+            .args(extra)
+            .status()
+            .unwrap()
+    };
+    assert!(gate(&dir_a, &dir_b, &["--rel", "0"]).success());
+
+    // …and exits non-zero once a regression is injected.
+    let zero = diff_paths(
+        &dir_a,
+        &dir_b,
+        &Thresholds {
+            default_rel: 0.0,
+            ..Thresholds::default()
+        },
+    )
+    .unwrap();
+    assert!(zero.ok(), "{:?}", zero.violations);
+    let mut doctored = BenchReport::read_from_file(&dir_b.join("BENCH_t8_ablation.json")).unwrap();
+    let eff = doctored.cells[0].metrics.get_f64("eff").unwrap();
+    doctored.cells[0].metrics.put_f64("eff", eff * 0.5);
+    doctored.write_to_dir(&dir_b).unwrap();
+    let st = gate(&dir_a, &dir_b, &["--rel", "0.10"]);
+    assert_eq!(st.code(), Some(1));
+
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}

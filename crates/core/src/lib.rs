@@ -60,7 +60,7 @@ pub use executor::{
     run_interleaved, run_interleaved_multi, InterleaveOptions, InterleaveReport, Job, SwitchMode,
     POISON,
 };
-pub use metrics::{percentile, ratio, CycleSummary};
+pub use metrics::{percentile, percentiles, ratio, CycleSummary};
 pub use pipeline::{lint_gate, pgo_pipeline, InstrumentedBinary, PipelineError, PipelineOptions};
 pub use scheduler::{run_task_queue, SchedPolicy, SchedReport, Task};
 pub use whatif::{make_conditional, yield_census, YieldCensus};

@@ -5,23 +5,44 @@ use reach_sim::{MachineConfig, PerfCounters};
 
 /// Returns the `p`-th percentile (0.0–1.0) of `values` using
 /// nearest-rank on a sorted copy. Returns 0 for an empty slice.
+///
+/// This is the *single* nearest-rank implementation in the workspace;
+/// every other percentile accessor (scheduler sojourn/service helpers,
+/// the bench harnesses) delegates here so results can never diverge.
 pub fn percentile(values: &[u64], p: f64) -> u64 {
+    percentiles(values, &[p])[0]
+}
+
+/// Batch form of [`percentile`]: sorts `values` once and reads every
+/// requested rank off the same sorted copy. Identical results to calling
+/// [`percentile`] per `p` (a differential test enforces this), at one
+/// sort instead of `ps.len()`.
+pub fn percentiles(values: &[u64], ps: &[f64]) -> Vec<u64> {
     if values.is_empty() {
-        return 0;
+        return vec![0; ps.len()];
     }
     let mut v = values.to_vec();
     v.sort_unstable();
-    // Nearest-rank: the ceil(p*n)-th smallest value (1-indexed).
-    let rank = (p.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize;
-    v[rank.saturating_sub(1).min(v.len() - 1)]
+    ps.iter()
+        .map(|p| {
+            // Nearest-rank: the ceil(p*n)-th smallest value (1-indexed).
+            let rank = (p.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize;
+            v[rank.saturating_sub(1).min(v.len() - 1)]
+        })
+        .collect()
 }
 
-/// `num / den` as `f64`, 0.0 when the denominator is zero. The safe
-/// division every degradation-matrix cell needs (faulted runs can leave
-/// either side empty).
+/// `num / den` as `f64`; `f64::NAN` when the denominator is zero.
+///
+/// The degradation-matrix tables divide a faulted run's latency by a
+/// healthy baseline; an earlier version returned `0.0` for an empty
+/// baseline, which read as a *perfect* (0.00x) degradation ratio in
+/// exactly the runs that were most broken. NaN forces callers to render
+/// the cell as unavailable ("n/a" in tables, `null` in BENCH JSON)
+/// instead of silently scoring it best-possible.
 pub fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
-        0.0
+        f64::NAN
     } else {
         num as f64 / den as f64
     }
@@ -109,6 +130,41 @@ mod tests {
         assert_eq!(percentile(&[7], 0.99), 7);
         // Out-of-range p clamps.
         assert_eq!(percentile(&[1, 2, 3], 2.0), 3);
+    }
+
+    #[test]
+    fn batch_percentiles_match_single_calls() {
+        // Differential: percentiles() must agree with per-p percentile()
+        // on shared inputs, including edge ranks and unsorted data.
+        let inputs: &[&[u64]] = &[
+            &[],
+            &[7],
+            &[5, 1, 9],
+            &[3, 3, 3, 3],
+            &[10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+            &[u64::MAX, 0, 1, u64::MAX - 1],
+        ];
+        let ps = [0.0, 0.01, 0.25, 0.5, 0.95, 0.99, 1.0, 2.0, -1.0];
+        for values in inputs {
+            let batch = percentiles(values, &ps);
+            for (i, &p) in ps.iter().enumerate() {
+                assert_eq!(
+                    batch[i],
+                    percentile(values, p),
+                    "diverged at p={p} on {values:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_zero_denominator_is_nan_not_perfect() {
+        // Regression: a faulted run with zero baseline cycles must not
+        // read as a perfect 0.00x degradation ratio.
+        assert!(ratio(5, 0).is_nan());
+        assert!(ratio(0, 0).is_nan());
+        assert_eq!(ratio(6, 3), 2.0);
+        assert_eq!(ratio(0, 4), 0.0);
     }
 
     #[test]

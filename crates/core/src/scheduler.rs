@@ -466,5 +466,16 @@ mod tests {
         };
         assert_eq!(r.sojourn_percentile(1.0), 40);
         assert_eq!(r.service_percentile(0.0), 1);
+        // Differential: the report helpers are thin wrappers over the one
+        // canonical nearest-rank implementation — identical on shared
+        // inputs, every rank.
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(r.sojourn_percentile(p), percentile(&r.sojourns, p));
+            assert_eq!(r.service_percentile(p), percentile(&r.service_times, p));
+            assert_eq!(
+                crate::metrics::percentiles(&r.sojourns, &[p])[0],
+                r.sojourn_percentile(p)
+            );
+        }
     }
 }
