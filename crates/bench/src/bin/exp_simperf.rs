@@ -1,0 +1,10 @@
+//! Host-side interpreter throughput harness (see
+//! [`reach_bench::experiments::simperf`]).
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --bin exp_simperf -- --smoke
+//! ```
+
+fn main() {
+    reach_bench::driver::single_main(&reach_bench::experiments::simperf::SimPerf);
+}

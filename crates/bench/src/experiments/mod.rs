@@ -9,6 +9,7 @@ pub mod f1_spectrum;
 pub mod f6_manual_vs_pgo;
 pub mod f9_interyield;
 pub mod fault_matrix;
+pub mod simperf;
 pub mod t11_sampling;
 pub mod t12_whatif;
 pub mod t13_scheduler;
@@ -46,6 +47,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(t16_sfi::T16Sfi),
         Box::new(t17_drift::T17Drift),
         Box::new(fault_matrix::FaultMatrix),
+        Box::new(simperf::SimPerf),
     ]
 }
 
@@ -62,7 +64,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let exps = all();
-        assert_eq!(exps.len(), 18);
+        assert_eq!(exps.len(), 19);
         for e in &exps {
             assert!(by_name(e.name()).is_some());
         }

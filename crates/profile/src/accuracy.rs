@@ -63,7 +63,7 @@ pub fn score(profile: &Profile, counters: &PerfCounters, threshold: f64) -> Accu
                 let est = profile.miss_likelihood(pc);
                 let actual = counters
                     .per_pc
-                    .get(&pc)
+                    .get(pc)
                     .map(|s| s.miss_likelihood())
                     .unwrap_or(0.0);
                 (est - actual).abs()

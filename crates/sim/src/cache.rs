@@ -12,7 +12,7 @@
 //! profile-guided `prefetch+yield` instrumentation exploits.
 
 use crate::config::MachineConfig;
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// Which level serviced an access. `Mem` means a full miss.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -68,20 +68,31 @@ pub struct Access {
     pub merged_with_fill: bool,
 }
 
-/// One cache line's metadata.
+/// One cache line's metadata, packed to 16 bytes so a 16-way set scan
+/// touches 4 host cache lines instead of 6 (the scan is the hot loop of
+/// every simulated load).
+///
+/// Validity is encoded in the stamp: per-level stamps are pre-incremented
+/// before every write, so a present line always has `stamp >= 1` and
+/// `stamp == 0` means invalid. This also unifies victim selection —
+/// the first way with the minimal stamp is the first free way when one
+/// exists (stamp 0), and the first LRU way otherwise, exactly the
+/// priorities of the explicit free-way/LRU scans it replaces.
 #[derive(Clone, Copy, Debug)]
 struct LineMeta {
     tag: u64,
-    /// LRU timestamp: monotonically increasing access stamp.
+    /// LRU timestamp (monotonically increasing access stamp); 0 = invalid.
     stamp: u64,
-    valid: bool,
 }
 
-const INVALID: LineMeta = LineMeta {
-    tag: 0,
-    stamp: 0,
-    valid: false,
-};
+impl LineMeta {
+    #[inline]
+    fn is(&self, tag: u64) -> bool {
+        self.stamp != 0 && self.tag == tag
+    }
+}
+
+const INVALID: LineMeta = LineMeta { tag: 0, stamp: 0 };
 
 /// A single set-associative cache level with LRU replacement.
 #[derive(Clone, Debug)]
@@ -109,14 +120,28 @@ impl CacheLevel {
         set * self.ways..(set + 1) * self.ways
     }
 
+    /// Hints the host to start fetching this set's metadata (one hint per
+    /// 64-byte host line, i.e. per four `LineMeta`). Issued at access
+    /// entry so the scans below find the set already in flight — for the
+    /// megabytes of L3 metadata this turns serialized host misses into
+    /// overlapped ones.
+    #[inline]
+    fn prefetch_set(&self, line_addr: u64) {
+        let r = self.set_range(line_addr);
+        let mut i = r.start;
+        while i < r.end {
+            crate::host_prefetch(&self.lines[i]);
+            i += 4;
+        }
+    }
+
     /// Looks up `line_addr`; on hit refreshes LRU and returns `true`.
     fn lookup(&mut self, line_addr: u64) -> bool {
         self.stamp += 1;
         let stamp = self.stamp;
         let range = self.set_range(line_addr);
-        let tag = line_addr;
         for meta in &mut self.lines[range] {
-            if meta.valid && meta.tag == tag {
+            if meta.is(line_addr) {
                 meta.stamp = stamp;
                 return true;
             }
@@ -128,57 +153,54 @@ impl CacheLevel {
     /// presence probe.
     fn contains(&self, line_addr: u64) -> bool {
         let range = self.set_range(line_addr);
-        self.lines[range]
-            .iter()
-            .any(|m| m.valid && m.tag == line_addr)
+        self.lines[range].iter().any(|m| m.is(line_addr))
     }
 
     /// Installs `line_addr`, evicting the LRU way if the set is full.
     /// Returns the evicted line address, if any.
+    ///
+    /// Single pass over the set (it runs once per fill on the
+    /// interpreter's load path), with the same priorities and
+    /// tie-breaking as the obvious three-scan version: refresh if
+    /// present, else first free way, else first way with the minimal
+    /// LRU stamp.
     fn install(&mut self, line_addr: u64) -> Option<u64> {
         self.stamp += 1;
         let stamp = self.stamp;
         let range = self.set_range(line_addr);
         let set = &mut self.lines[range];
-        // Already present (e.g. re-install after an inner-level miss):
-        // refresh.
-        for meta in set.iter_mut() {
-            if meta.valid && meta.tag == line_addr {
+        let mut victim = 0usize;
+        let mut min_stamp = u64::MAX;
+        for (i, meta) in set.iter_mut().enumerate() {
+            if meta.is(line_addr) {
+                // Already present (e.g. re-install after an inner-level
+                // miss): refresh.
                 meta.stamp = stamp;
                 return None;
             }
-        }
-        // Free way?
-        for meta in set.iter_mut() {
-            if !meta.valid {
-                *meta = LineMeta {
-                    tag: line_addr,
-                    stamp,
-                    valid: true,
-                };
-                return None;
+            if meta.stamp < min_stamp {
+                min_stamp = meta.stamp;
+                victim = i;
             }
         }
-        // Evict LRU.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|m| m.stamp)
-            .expect("ways > 0 by construction");
-        let evicted = victim.tag;
-        *victim = LineMeta {
+        let evicted = if min_stamp == 0 {
+            None // took a free way, nothing evicted
+        } else {
+            Some(set[victim].tag)
+        };
+        set[victim] = LineMeta {
             tag: line_addr,
             stamp,
-            valid: true,
         };
-        Some(evicted)
+        evicted
     }
 
     /// Invalidates `line_addr` if present (used by tests and flush).
     fn invalidate(&mut self, line_addr: u64) {
         let range = self.set_range(line_addr);
         for meta in &mut self.lines[range] {
-            if meta.valid && meta.tag == line_addr {
-                meta.valid = false;
+            if meta.is(line_addr) {
+                meta.stamp = 0;
             }
         }
     }
@@ -214,7 +236,10 @@ pub struct Hierarchy {
     /// Next-line hardware prefetcher degree (0 = off).
     hw_degree: usize,
     /// In-flight fills: line address → (completion cycle, origin level).
-    mshr: HashMap<u64, (u64, Level)>,
+    mshr: FxHashMap<u64, (u64, Level)>,
+    /// Reused scratch for [`Hierarchy::drain_fills`] so the per-access
+    /// drain never allocates (it sits on the interpreter's load path).
+    fill_scratch: Vec<(u64, u64)>,
     /// Statistics.
     pub stats: CacheStats,
 }
@@ -252,7 +277,8 @@ impl Hierarchy {
             ],
             line_shift: line.trailing_zeros(),
             hw_degree: cfg.hw_prefetch_degree,
-            mshr: HashMap::new(),
+            mshr: FxHashMap::default(),
+            fill_scratch: Vec::new(),
             stats: CacheStats::default(),
         }
     }
@@ -274,17 +300,31 @@ impl Hierarchy {
         if self.mshr.is_empty() {
             return;
         }
-        let mut done: Vec<(u64, u64)> = self
-            .mshr
-            .iter()
-            .filter(|&(_, &(ready, _))| ready <= now)
-            .map(|(&line, &(ready, _))| (ready, line))
-            .collect();
+        // One in-flight fill — the steady state of a blocking core that
+        // misses, stalls past the fill, then accesses again — needs no
+        // collection or sorting.
+        if self.mshr.len() == 1 {
+            let (&line, &(ready, _)) = self.mshr.iter().next().expect("len == 1");
+            if ready <= now {
+                self.mshr.remove(&line);
+                self.install_all(line);
+            }
+            return;
+        }
+        let mut done = std::mem::take(&mut self.fill_scratch);
+        done.extend(
+            self.mshr
+                .iter()
+                .filter(|&(_, &(ready, _))| ready <= now)
+                .map(|(&line, &(ready, _))| (ready, line)),
+        );
         done.sort_unstable();
-        for (_, line) in done {
+        for &(_, line) in &done {
             self.mshr.remove(&line);
             self.install_all(line);
         }
+        done.clear();
+        self.fill_scratch = done;
     }
 
     fn install_all(&mut self, line: u64) {
@@ -300,8 +340,12 @@ impl Hierarchy {
     /// and prefetches return immediately-usable results (the caller charges
     /// only their issue cost).
     pub fn access(&mut self, addr: u64, now: u64, kind: AccessKind) -> Access {
-        self.drain_fills(now);
         let line = self.line_of(addr);
+        // Host-side overlap only (no simulated effect): start fetching
+        // the L2/L3 set metadata now, behind the drain/MSHR work below.
+        self.l2.prefetch_set(line);
+        self.l3.prefetch_set(line);
+        self.drain_fills(now);
 
         if kind == AccessKind::DemandLoad {
             self.train_hw_prefetcher(line, now);

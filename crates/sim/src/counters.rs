@@ -11,7 +11,6 @@
 //!   which is precisely why profile accuracy is measurable here.
 
 use crate::cache::Level;
-use std::collections::HashMap;
 
 /// Ground-truth statistics for a single program counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,8 +42,104 @@ impl PcStats {
     }
 }
 
-/// Aggregate and per-PC counters for one simulation run.
+/// Flat per-PC statistics table, indexed directly by program counter.
+///
+/// This replaces a `HashMap<usize, PcStats>` on the interpreter's
+/// hottest path: every retired load records here, and PCs are small
+/// dense integers, so a `Vec` turns the per-load hash-probe into an
+/// indexed store. The table is sized up front from the program length
+/// ([`PerPcTable::grow_to`], called by the machine when a run starts)
+/// and lazily grown by [`PerPcTable::entry`] as a backstop, so one
+/// `PerfCounters` can span several programs of different sizes.
+///
+/// A PC "has stats" iff a load retired there (`loads > 0`) — exactly
+/// the presence semantics of the old map, and what [`PerPcTable::get`],
+/// [`PerPcTable::iter`] and equality expose. Slack capacity is
+/// invisible: two tables that record the same loads are equal no matter
+/// how they were grown.
 #[derive(Clone, Debug, Default)]
+pub struct PerPcTable {
+    stats: Vec<PcStats>,
+}
+
+/// What absent PCs read as (via the `Index` impls).
+const ZERO_STATS: PcStats = PcStats {
+    loads: 0,
+    served_by: [0; 4],
+    stall_cycles: 0,
+};
+
+impl PerPcTable {
+    /// Ensures the table covers PCs `0..n` without reallocation during
+    /// the run. Never shrinks.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.stats.len() < n {
+            self.stats.resize(n, PcStats::default());
+        }
+    }
+
+    /// Mutable stats slot for `pc`, growing the table if needed.
+    #[inline]
+    pub fn entry(&mut self, pc: usize) -> &mut PcStats {
+        if pc >= self.stats.len() {
+            self.stats.resize(pc + 1, PcStats::default());
+        }
+        &mut self.stats[pc]
+    }
+
+    /// Stats for `pc`, if a load ever retired there.
+    #[inline]
+    pub fn get(&self, pc: usize) -> Option<&PcStats> {
+        self.stats.get(pc).filter(|s| s.loads > 0)
+    }
+
+    /// Recorded entries `(pc, stats)` in ascending PC order. Yields only
+    /// PCs where a load retired, mirroring the old map's key set.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &PcStats)> {
+        self.stats.iter().enumerate().filter(|&(_, s)| s.loads > 0)
+    }
+
+    /// Number of PCs with recorded loads.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True when no load has been recorded anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
+
+impl std::ops::Index<usize> for PerPcTable {
+    type Output = PcStats;
+
+    /// PCs that never recorded a load read as all-zero stats.
+    #[inline]
+    fn index(&self, pc: usize) -> &PcStats {
+        self.stats.get(pc).unwrap_or(&ZERO_STATS)
+    }
+}
+
+impl std::ops::Index<&usize> for PerPcTable {
+    type Output = PcStats;
+
+    #[inline]
+    fn index(&self, pc: &usize) -> &PcStats {
+        &self[*pc]
+    }
+}
+
+impl PartialEq for PerPcTable {
+    /// Capacity-independent equality: same recorded loads, same stats.
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for PerPcTable {}
+
+/// Aggregate and per-PC counters for one simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PerfCounters {
     /// Retired instructions.
     pub instructions: u64,
@@ -73,7 +168,7 @@ pub struct PerfCounters {
     /// Cycles the core sat idle with every context blocked.
     pub idle_cycles: u64,
     /// Ground truth per-PC load behaviour.
-    pub per_pc: HashMap<usize, PcStats>,
+    pub per_pc: PerPcTable,
 }
 
 impl PerfCounters {
@@ -127,7 +222,7 @@ impl PerfCounters {
     #[inline]
     pub fn record_load(&mut self, pc: usize, level: Level, stall: u64) {
         self.loads += 1;
-        let e = self.per_pc.entry(pc).or_default();
+        let e = self.per_pc.entry(pc);
         e.loads += 1;
         e.served_by[level.index()] += 1;
         e.stall_cycles += stall;
@@ -136,14 +231,11 @@ impl PerfCounters {
     /// The set of PCs whose true L2-miss likelihood is at least
     /// `threshold` — ground truth for profile-accuracy scoring.
     pub fn true_miss_pcs(&self, threshold: f64) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .per_pc
+        self.per_pc
             .iter()
-            .filter(|(_, s)| s.loads > 0 && s.miss_likelihood() >= threshold)
-            .map(|(&pc, _)| pc)
-            .collect();
-        v.sort_unstable();
-        v
+            .filter(|(_, s)| s.miss_likelihood() >= threshold)
+            .map(|(pc, _)| pc)
+            .collect()
     }
 
     /// Merges another counter set into this one (used when aggregating
@@ -162,8 +254,9 @@ impl PerfCounters {
         self.check_cycles += other.check_cycles;
         self.sampling_cycles += other.sampling_cycles;
         self.idle_cycles += other.idle_cycles;
-        for (&pc, s) in &other.per_pc {
-            let e = self.per_pc.entry(pc).or_default();
+        self.per_pc.grow_to(other.per_pc.stats.len());
+        for (pc, s) in other.per_pc.iter() {
+            let e = self.per_pc.entry(pc);
             e.loads += s.loads;
             e.stall_cycles += s.stall_cycles;
             for i in 0..4 {
@@ -231,6 +324,36 @@ mod tests {
     #[test]
     fn miss_likelihood_of_unused_pc_is_zero() {
         assert_eq!(PcStats::default().miss_likelihood(), 0.0);
+    }
+
+    #[test]
+    fn per_pc_equality_ignores_table_capacity() {
+        // A reference stepping loop grows the table lazily per touched
+        // PC; the fast path pre-grows to the program length. Both must
+        // compare equal when they recorded the same loads.
+        let mut lazy = PerfCounters::new();
+        lazy.record_load(3, Level::Mem, 7);
+        let mut pregrown = PerfCounters::new();
+        pregrown.per_pc.grow_to(1000);
+        pregrown.record_load(3, Level::Mem, 7);
+        assert_eq!(lazy, pregrown);
+        pregrown.record_load(900, Level::L1, 0);
+        assert_ne!(lazy, pregrown);
+    }
+
+    #[test]
+    fn per_pc_get_and_index_expose_recorded_loads_only() {
+        let mut c = PerfCounters::new();
+        c.per_pc.grow_to(100);
+        c.record_load(5, Level::L3, 2);
+        assert_eq!(c.per_pc.get(5).unwrap().loads, 1);
+        assert!(c.per_pc.get(6).is_none(), "grown but unrecorded");
+        assert!(c.per_pc.get(4000).is_none(), "out of range");
+        assert_eq!(c.per_pc[&4000], ZERO_STATS, "absent PCs read as zero");
+        assert_eq!(c.per_pc.len(), 1);
+        assert!(!c.per_pc.is_empty());
+        let pcs: Vec<usize> = c.per_pc.iter().map(|(pc, _)| pc).collect();
+        assert_eq!(pcs, vec![5]);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod config;
 pub mod context;
 pub mod counters;
 pub mod faults;
+pub mod fxhash;
 pub mod isa;
 pub mod lbr;
 pub mod machine;
@@ -58,11 +59,34 @@ pub mod rng;
 pub mod smt;
 pub mod trace;
 
+/// Host-side cache prefetch hint: asks the host CPU to start fetching the
+/// cache line containing `p`.
+///
+/// Purely a wall-clock optimization for the interpreter's hot paths (the
+/// simulated-load path issues these so host-memory fetches of simulated
+/// data and cache metadata overlap instead of serializing). No simulated
+/// state is read or written, so determinism is untouched; on non-x86_64
+/// hosts it compiles to nothing.
+#[inline(always)]
+pub(crate) fn host_prefetch<T>(p: &T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch hints have no architectural memory effects and
+    // tolerate any address; `p` is a live reference anyway.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+            p as *const T as *const i8,
+        )
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 pub use cache::{Access, AccessKind, CacheStats, Hierarchy, Level};
 pub use config::{CacheLevelConfig, MachineConfig};
 pub use context::{Context, ContextStats, Mode, Status};
-pub use counters::{PcStats, PerfCounters};
+pub use counters::{PcStats, PerPcTable, PerfCounters};
 pub use faults::{FaultInjector, FaultLog, FaultPlan};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use isa::{AluOp, Cond, Inst, Program, ProgramBuilder, ProgramError, Reg, YieldKind};
 pub use lbr::{BranchRecord, Lbr, StraightRun};
 pub use machine::{ExecError, Exit, Machine, SwitchKind};

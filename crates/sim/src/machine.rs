@@ -110,6 +110,30 @@ impl From<MemError> for ExecError {
     }
 }
 
+/// Busy-cycle/retirement accumulator for the fused fast path: runs of
+/// clock-independent instructions (Imm/Alu/Branch/Call/Ret) batch their
+/// accounting here and flush it before anything that reads the clock.
+#[derive(Default)]
+struct Burst {
+    busy: u64,
+    insts: u64,
+}
+
+impl Burst {
+    /// Applies and clears the accumulated accounting.
+    #[inline]
+    fn flush(&mut self, m: &mut Machine, ctx: &mut Context) {
+        if self.insts > 0 {
+            m.now += self.busy;
+            m.counters.busy_cycles += self.busy;
+            m.counters.instructions += self.insts;
+            ctx.stats.instructions += self.insts;
+            self.busy = 0;
+            self.insts = 0;
+        }
+    }
+}
+
 /// The simulated core plus its memory system, clock, counters and PMU.
 #[derive(Clone, Debug)]
 pub struct Machine {
@@ -316,6 +340,9 @@ impl Machine {
             }
             Inst::Load { dst, addr, offset } => {
                 let ea = ctx.reg(addr).wrapping_add_signed(offset);
+                // Host-side overlap: fetch the backing word behind the
+                // hierarchy walk (no simulated effect).
+                self.mem.host_prefetch(ea);
                 let access = self.hier.access(ea, self.now, AccessKind::DemandLoad);
                 let wait = access.ready.saturating_sub(self.now);
                 let stall = wait.saturating_sub(self.cfg.ooo_window);
@@ -350,7 +377,7 @@ impl Machine {
 
                 if stall > 0 && self.switch_on_stall {
                     // Park the load; it completes transparently on resume.
-                    let value = self.mem.read(ea)?;
+                    let value = self.mem.read_hot(ea)?;
                     ctx.pending_load = Some(PendingLoad {
                         dst,
                         value,
@@ -361,7 +388,7 @@ impl Machine {
                     }));
                 }
 
-                let value = self.mem.read(ea)?;
+                let value = self.mem.read_hot(ea)?;
                 ctx.set_reg(dst, value);
                 ctx.pc += 1;
                 self.busy(1);
@@ -464,20 +491,273 @@ impl Machine {
         Ok(None)
     }
 
+    /// True when nothing observes individual instructions: no PEBS
+    /// samplers, no execution trace, no fault injector. This is the
+    /// dispatch mask for [`Machine::run`]'s fused fast path — the common
+    /// bench configuration. The LBR is deliberately *not* part of the
+    /// mask: it only observes taken control transfers, which the fast
+    /// path executes at flushed (exact) clock values.
+    #[inline]
+    fn uninstrumented(&self) -> bool {
+        self.samplers.is_empty() && self.trace.is_none() && self.faults.is_none()
+    }
+
     /// Runs `ctx` until a yield fires, it stalls (switch-on-stall mode),
     /// it halts, or `max_steps` instructions have retired.
+    ///
+    /// Cycle-exact regardless of route: when the machine is
+    /// uninstrumented this dispatches to a fused fast path; otherwise it
+    /// is a plain loop over [`Machine::step`]. Both produce identical
+    /// counters, registers, clock and exits (enforced by a differential
+    /// proptest).
     pub fn run(
         &mut self,
         prog: &Program,
         ctx: &mut Context,
         max_steps: u64,
     ) -> Result<Exit, ExecError> {
+        if self.uninstrumented() {
+            return self.run_fast(prog, ctx, max_steps);
+        }
         for _ in 0..max_steps {
             if let Some(exit) = self.step(prog, ctx)? {
                 return Ok(exit);
             }
         }
         Ok(Exit::StepLimit)
+    }
+
+    /// The fused stepping loop behind [`Machine::run`]'s fast path.
+    ///
+    /// Preconditions hoisted out of the per-instruction loop (each is
+    /// exact, not approximate — see the inline notes):
+    ///
+    /// * `status`/`started_at` are checked once: within a run, a status
+    ///   change always returns immediately, so re-checking per step is
+    ///   redundant;
+    /// * `complete_pending` runs once in the prologue: a parked load can
+    ///   only exist at run entry (parking one exits the run);
+    /// * the per-PC table is pre-grown to the program length so the
+    ///   per-load path indexes without a bounds-growth check;
+    /// * sampler/trace/fault hooks are skipped entirely — the dispatch
+    ///   mask guarantees every one of them is a no-op.
+    ///
+    /// Runs of Imm/Alu/Branch/Call/Ret (instructions that never read the
+    /// clock) accumulate `busy` cycles and retirement counts in locals,
+    /// flushed to `self.now`/counters before anything clock-dependent
+    /// executes: loads, stores, prefetches, yields, halt, LBR records,
+    /// and every error return. At each of those points the machine state
+    /// is bit-identical to what the step-by-step route produces.
+    fn run_fast(
+        &mut self,
+        prog: &Program,
+        ctx: &mut Context,
+        max_steps: u64,
+    ) -> Result<Exit, ExecError> {
+        if max_steps == 0 {
+            // The slow loop's body never runs: no status check, no error.
+            return Ok(Exit::StepLimit);
+        }
+        if ctx.status != Status::Runnable {
+            return Err(ExecError::NotRunnable);
+        }
+        if ctx.stats.started_at.is_none() {
+            ctx.stats.started_at = Some(self.now);
+        }
+        self.counters.per_pc.grow_to(prog.insts.len());
+        self.complete_pending(ctx);
+
+        let mut burst = Burst::default();
+        macro_rules! flush {
+            () => {
+                burst.flush(&mut *self, ctx)
+            };
+        }
+
+        let mut remaining = max_steps;
+        loop {
+            if remaining == 0 {
+                flush!();
+                return Ok(Exit::StepLimit);
+            }
+            remaining -= 1;
+
+            let pc = ctx.pc;
+            let Some(inst) = prog.insts.get(pc) else {
+                flush!();
+                return Err(ExecError::BadPc { pc });
+            };
+            match *inst {
+                Inst::Imm { dst, val } => {
+                    ctx.set_reg(dst, val);
+                    ctx.pc = pc + 1;
+                    burst.busy += 1;
+                    burst.insts += 1;
+                }
+                Inst::Alu {
+                    op,
+                    dst,
+                    src1,
+                    src2,
+                    lat,
+                } => {
+                    let v = op.eval(ctx.reg(src1), ctx.reg(src2));
+                    ctx.set_reg(dst, v);
+                    ctx.pc = pc + 1;
+                    burst.busy += lat as u64;
+                    burst.insts += 1;
+                }
+                Inst::Branch { cond, src, target } => {
+                    self.counters.branches += 1;
+                    let taken = cond.eval(ctx.reg(src));
+                    burst.busy += 1;
+                    burst.insts += 1;
+                    if taken {
+                        if self.lbr_enabled {
+                            // The LBR stamps self.now: flush so the
+                            // record carries the exact post-busy clock.
+                            flush!();
+                            self.record_branch(pc, target);
+                        }
+                        ctx.pc = target;
+                    } else {
+                        ctx.pc = pc + 1;
+                    }
+                }
+                Inst::Call { target } => {
+                    if ctx.call_stack.len() >= MAX_CALL_DEPTH {
+                        flush!();
+                        ctx.status = Status::Faulted;
+                        return Err(ExecError::CallDepth { pc });
+                    }
+                    ctx.call_stack.push(pc + 1);
+                    burst.busy += 2;
+                    burst.insts += 1;
+                    if self.lbr_enabled {
+                        flush!();
+                        self.record_branch(pc, target);
+                    }
+                    ctx.pc = target;
+                }
+                Inst::Ret => {
+                    let Some(ret) = ctx.call_stack.pop() else {
+                        flush!();
+                        ctx.status = Status::Faulted;
+                        return Err(ExecError::RetEmptyStack { pc });
+                    };
+                    burst.busy += 2;
+                    burst.insts += 1;
+                    if self.lbr_enabled {
+                        flush!();
+                        self.record_branch(pc, ret);
+                    }
+                    ctx.pc = ret;
+                }
+                Inst::Load { dst, addr, offset } => {
+                    // The hierarchy timestamps accesses: flush first.
+                    flush!();
+                    let ea = ctx.reg(addr).wrapping_add_signed(offset);
+                    // Host-side overlap: fetch the backing word behind
+                    // the hierarchy walk (no simulated effect).
+                    self.mem.host_prefetch(ea);
+                    let access = self.hier.access(ea, self.now, AccessKind::DemandLoad);
+                    let wait = access.ready.saturating_sub(self.now);
+                    let stall = wait.saturating_sub(self.cfg.ooo_window);
+                    let level = if access.merged_with_fill {
+                        if stall == 0 {
+                            Level::L1
+                        } else if wait <= self.cfg.l3.hit_latency {
+                            Level::L3
+                        } else {
+                            Level::Mem
+                        }
+                    } else {
+                        access.level
+                    };
+                    self.counters.record_load(pc, level, stall);
+
+                    if stall > 0 && self.switch_on_stall {
+                        let value = self.mem.read_hot(ea)?;
+                        ctx.pending_load = Some(PendingLoad {
+                            dst,
+                            value,
+                            ready: access.ready,
+                        });
+                        return Ok(Exit::Stalled {
+                            ready: access.ready,
+                        });
+                    }
+
+                    let value = self.mem.read_hot(ea)?;
+                    ctx.set_reg(dst, value);
+                    ctx.pc = pc + 1;
+                    self.busy(1);
+                    self.now += stall;
+                    self.counters.stall_cycles += stall;
+                    self.counters.instructions += 1;
+                    ctx.stats.instructions += 1;
+                }
+                Inst::Store { src, addr, offset } => {
+                    flush!();
+                    let ea = ctx.reg(addr).wrapping_add_signed(offset);
+                    let _ = self.hier.access(ea, self.now, AccessKind::Store);
+                    self.mem.write(ea, ctx.reg(src))?;
+                    ctx.pc = pc + 1;
+                    self.busy(1);
+                    self.counters.stores += 1;
+                    self.counters.instructions += 1;
+                    ctx.stats.instructions += 1;
+                }
+                Inst::Prefetch { addr, offset } => {
+                    flush!();
+                    let ea = ctx.reg(addr).wrapping_add_signed(offset);
+                    let access = self.hier.access(ea, self.now, AccessKind::Prefetch);
+                    ctx.last_prefetch_level = Some(access.level);
+                    ctx.pc = pc + 1;
+                    self.busy(self.cfg.prefetch_cost);
+                    self.counters.prefetches += 1;
+                    self.counters.instructions += 1;
+                    ctx.stats.instructions += 1;
+                }
+                Inst::Yield { kind, save_regs } => {
+                    flush!();
+                    ctx.pc = pc + 1;
+                    let fires = match kind {
+                        YieldKind::Primary | YieldKind::Manual => true,
+                        YieldKind::Scavenger => {
+                            self.now += self.cfg.cond_check_cost;
+                            self.counters.check_cycles += self.cfg.cond_check_cost;
+                            ctx.mode == Mode::Scavenger
+                        }
+                        YieldKind::IfAbsent => {
+                            self.now += self.cfg.cond_check_cost;
+                            self.counters.check_cycles += self.cfg.cond_check_cost;
+                            matches!(ctx.last_prefetch_level, Some(Level::L3) | Some(Level::Mem))
+                        }
+                    };
+                    self.counters.instructions += 1;
+                    ctx.stats.instructions += 1;
+                    if fires {
+                        self.counters.yields_fired += 1;
+                        ctx.stats.yields_taken += 1;
+                        return Ok(Exit::Yielded {
+                            pc,
+                            kind,
+                            save_regs,
+                        });
+                    }
+                    self.counters.yields_suppressed += 1;
+                }
+                Inst::Halt => {
+                    flush!();
+                    ctx.status = Status::Done;
+                    ctx.stats.finished_at = Some(self.now);
+                    self.counters.instructions += 1;
+                    ctx.stats.instructions += 1;
+                    return Ok(Exit::Done);
+                }
+            }
+        }
     }
 
     /// Runs a single context to completion, treating fired yields as

@@ -5,17 +5,54 @@
 //! matters for cache index distribution) without allocating gigabytes on
 //! the host. All accesses are 8-byte-aligned 64-bit words; workload
 //! generators lay out their data structures accordingly.
+//!
+//! This sits on the interpreter's hottest path (every simulated load and
+//! store resolves a page), so the representation is tuned for host
+//! throughput while staying fully deterministic:
+//!
+//! * pages live in a slab (`Vec` of boxed page arrays) and a side index
+//!   maps page number → slot, hashed with the cheap deterministic
+//!   [`crate::fxhash`] hasher instead of SipHash;
+//! * a single-entry last-page cache (a software TLB) short-circuits the
+//!   index probe entirely for the overwhelmingly common same-page case;
+//! * [`Memory::write_slice`] resolves each page once per page, not once
+//!   per word.
+//!
+//! None of this is simulated-visible: reads and writes return the exact
+//! same values, and untouched memory still reads as zero.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// Page size in bytes. 4 KiB, like a real small page.
 pub const PAGE_BYTES: u64 = 4096;
 const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
 
+/// TLB tag meaning "empty". Page numbers are `addr / PAGE_BYTES` so the
+/// largest real tag is `u64::MAX / 4096`; `u64::MAX` can never collide.
+const TLB_EMPTY: u64 = u64::MAX;
+
 /// Sparse, paged, word-addressed memory.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+    /// Page payloads, in materialization order.
+    slabs: Vec<Box<[u64; WORDS_PER_PAGE]>>,
+    /// Page number → slot in `slabs`.
+    index: FxHashMap<u64, u32>,
+    /// Software TLB: tag of the last page resolved by a `&mut` access.
+    tlb_page: u64,
+    /// Slot the TLB tag maps to (valid only when `tlb_page != TLB_EMPTY`).
+    tlb_slot: u32,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            slabs: Vec::new(),
+            index: FxHashMap::default(),
+            tlb_page: TLB_EMPTY,
+            tlb_slot: 0,
+        }
+    }
 }
 
 /// Error returned by the checked access methods.
@@ -44,6 +81,24 @@ impl Memory {
         Memory::default()
     }
 
+    /// Resolves `page` to its slab slot, materializing a zero page if
+    /// needed, and caches the translation in the TLB.
+    #[inline]
+    fn resolve_mut(&mut self, page: u64) -> u32 {
+        let slot = match self.index.get(&page) {
+            Some(&s) => s,
+            None => {
+                let s = u32::try_from(self.slabs.len()).expect("page slab overflow");
+                self.slabs.push(Box::new([0u64; WORDS_PER_PAGE]));
+                self.index.insert(page, s);
+                s
+            }
+        };
+        self.tlb_page = page;
+        self.tlb_slot = slot;
+        slot
+    }
+
     /// Reads the 64-bit word at `addr`. Untouched memory reads as zero.
     ///
     /// Returns [`MemError::Unaligned`] if `addr` is not 8-byte aligned.
@@ -54,7 +109,62 @@ impl Memory {
         }
         let page = addr / PAGE_BYTES;
         let word = ((addr % PAGE_BYTES) / 8) as usize;
-        Ok(self.pages.get(&page).map_or(0, |p| p[word]))
+        if page == self.tlb_page {
+            return Ok(self.slabs[self.tlb_slot as usize][word]);
+        }
+        Ok(self
+            .index
+            .get(&page)
+            .map_or(0, |&s| self.slabs[s as usize][word]))
+    }
+
+    /// Reads the 64-bit word at `addr`, refilling the TLB on miss.
+    ///
+    /// Same observable result as [`Memory::read`]; the interpreter's
+    /// load path uses this so a run of same-page accesses pays the page
+    /// index probe once. Reads of untouched addresses return zero
+    /// without materializing the page (and leave the TLB alone — there
+    /// is no slot to cache).
+    #[inline]
+    pub fn read_hot(&mut self, addr: u64) -> Result<u64, MemError> {
+        if !addr.is_multiple_of(8) {
+            return Err(MemError::Unaligned { addr });
+        }
+        let page = addr / PAGE_BYTES;
+        let word = ((addr % PAGE_BYTES) / 8) as usize;
+        if page == self.tlb_page {
+            return Ok(self.slabs[self.tlb_slot as usize][word]);
+        }
+        match self.index.get(&page) {
+            Some(&s) => {
+                self.tlb_page = page;
+                self.tlb_slot = s;
+                Ok(self.slabs[s as usize][word])
+            }
+            None => Ok(0),
+        }
+    }
+
+    /// Hints the host CPU to start fetching the slab word backing `addr`
+    /// (see [`crate::host_prefetch`]).
+    ///
+    /// No simulated effect: nothing materializes, the TLB is untouched,
+    /// and unmapped or unaligned addresses are ignored. The interpreter
+    /// issues this before walking the cache hierarchy so the host fetch
+    /// of the data overlaps the walk's own metadata traffic.
+    #[inline]
+    pub fn host_prefetch(&self, addr: u64) {
+        let page = addr / PAGE_BYTES;
+        let word = ((addr % PAGE_BYTES) / 8) as usize;
+        let slot = if page == self.tlb_page {
+            self.tlb_slot
+        } else {
+            match self.index.get(&page) {
+                Some(&s) => s,
+                None => return,
+            }
+        };
+        crate::host_prefetch(&self.slabs[slot as usize][word]);
     }
 
     /// Writes the 64-bit word at `addr`, materializing the page if needed.
@@ -67,25 +177,30 @@ impl Memory {
         }
         let page = addr / PAGE_BYTES;
         let word = ((addr % PAGE_BYTES) / 8) as usize;
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]))[word] = val;
+        let slot = if page == self.tlb_page {
+            self.tlb_slot
+        } else {
+            self.resolve_mut(page)
+        };
+        self.slabs[slot as usize][word] = val;
         Ok(())
     }
 
     /// Number of materialized pages (for footprint reporting in tests).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.slabs.len()
     }
 
     /// Resident footprint in bytes.
     pub fn resident_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_BYTES
+        self.slabs.len() as u64 * PAGE_BYTES
     }
 
     /// Bulk-writes a contiguous array of words starting at `base`.
     ///
-    /// Convenience for workload layout code.
+    /// Convenience for workload layout code. Each touched page is
+    /// resolved once and filled with a word-range copy, rather than
+    /// paying a page lookup per word.
     ///
     /// # Panics
     ///
@@ -93,9 +208,16 @@ impl Memory {
     /// condition).
     pub fn write_slice(&mut self, base: u64, words: &[u64]) {
         assert!(base.is_multiple_of(8), "unaligned bulk write at {base:#x}");
-        for (i, &w) in words.iter().enumerate() {
-            self.write(base + 8 * i as u64, w)
-                .expect("aligned by construction");
+        let mut addr = base;
+        let mut rest = words;
+        while !rest.is_empty() {
+            let page = addr / PAGE_BYTES;
+            let word = ((addr % PAGE_BYTES) / 8) as usize;
+            let n = (WORDS_PER_PAGE - word).min(rest.len());
+            let slot = self.resolve_mut(page) as usize;
+            self.slabs[slot][word..word + n].copy_from_slice(&rest[..n]);
+            addr += 8 * n as u64;
+            rest = &rest[n..];
         }
     }
 }
@@ -126,6 +248,7 @@ mod tests {
     fn unaligned_access_errors() {
         let mut m = Memory::new();
         assert_eq!(m.read(3), Err(MemError::Unaligned { addr: 3 }));
+        assert_eq!(m.read_hot(3), Err(MemError::Unaligned { addr: 3 }));
         assert_eq!(m.write(9, 1), Err(MemError::Unaligned { addr: 9 }));
     }
 
@@ -163,5 +286,47 @@ mod tests {
     fn write_slice_unaligned_panics() {
         let mut m = Memory::new();
         m.write_slice(4, &[1]);
+    }
+
+    #[test]
+    fn write_slice_spanning_pages_materializes_each_page_once() {
+        // The satellite regression: a bulk write across page boundaries
+        // must land every word and only materialize the pages it spans.
+        let mut m = Memory::new();
+        let words: Vec<u64> = (0..3 * WORDS_PER_PAGE as u64 + 5).collect();
+        let base = PAGE_BYTES - 16; // straddle the first boundary
+        m.write_slice(base, &words);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(m.read(base + 8 * i as u64).unwrap(), w, "word {i}");
+        }
+        // 2 words on page 0, then 3 full pages, then the tail.
+        assert_eq!(m.resident_pages(), 5);
+    }
+
+    #[test]
+    fn read_hot_matches_read_and_skips_materialization() {
+        let mut m = Memory::new();
+        m.write(0x5000, 77).unwrap();
+        m.write(0x9000, 88).unwrap();
+        // Hot reads agree with cold reads across TLB hits and misses,
+        // including a miss on a never-touched page...
+        for addr in [0x5000u64, 0x5008, 0x9000, 0x123_0000, 0x5000] {
+            assert_eq!(m.read_hot(addr).unwrap(), m.read(addr).unwrap());
+        }
+        // ...which must not materialize anything.
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn tlb_does_not_leak_stale_translations_across_clones() {
+        let mut a = Memory::new();
+        a.write(0x1000, 1).unwrap();
+        let mut b = a.clone();
+        b.write(0x1000, 2).unwrap();
+        b.write(0x2000, 3).unwrap();
+        assert_eq!(a.read(0x1000).unwrap(), 1);
+        assert_eq!(a.read(0x2000).unwrap(), 0);
+        assert_eq!(b.read_hot(0x1000).unwrap(), 2);
+        assert_eq!(b.read_hot(0x2000).unwrap(), 3);
     }
 }

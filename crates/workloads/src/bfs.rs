@@ -241,7 +241,7 @@ mod tests {
             .counters
             .per_pc
             .iter()
-            .filter(|(&pc, _)| pc != VISITED_LOAD_PC)
+            .filter(|&(pc, _)| pc != VISITED_LOAD_PC)
             .map(|(_, p)| p.stall_cycles)
             .max()
             .unwrap_or(0);

@@ -1,0 +1,144 @@
+//! Differential property tests for the interpreter's uninstrumented
+//! fast path.
+//!
+//! `Machine::run` dispatches to a fused straight-line loop whenever no
+//! sampler, tracer or fault injector is attached. That fast path must be
+//! *observationally identical* to the instrumented step-by-step path on
+//! every program: same exit sequence (including `StepLimit` boundaries at
+//! arbitrary chunk sizes), same clock, same performance counters, same
+//! registers, same memory, same LBR records.
+//!
+//! The reference executor here is the same `Machine` with a passive
+//! execution trace attached: tracing forces the instrumented path but
+//! records without perturbing any simulated state, so any divergence is a
+//! fast-path bug.
+
+mod common;
+
+use common::{gen_program, machine_for, GenProgram, POOL, RB, REGION_WORDS};
+use proptest::prelude::*;
+use reach_sim::isa::{AluOp, Cond, ProgramBuilder, Reg};
+use reach_sim::{Context, Exit, Machine, Program, Trace};
+
+/// Drives `prog` to completion in `chunk`-step slices, self-resuming
+/// yields and waiting out parked stalls exactly like
+/// [`Machine::run_to_completion`], and returns every observed exit.
+fn drive(m: &mut Machine, prog: &Program, ctx: &mut Context, chunk: u64) -> Vec<Exit> {
+    let mut exits = Vec::new();
+    for _ in 0..1_000_000u32 {
+        let e = m.run(prog, ctx, chunk).expect("clean run");
+        exits.push(e);
+        match e {
+            Exit::Done => return exits,
+            Exit::Stalled { ready } => {
+                let residual = ready.saturating_sub(m.now);
+                m.now += residual;
+                m.counters.stall_cycles += residual;
+            }
+            Exit::Yielded { .. } | Exit::StepLimit => {}
+        }
+    }
+    panic!("generated program did not terminate");
+}
+
+/// Observable machine state after a run: everything the fast path could
+/// plausibly get wrong.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    exits: Vec<Exit>,
+    now: u64,
+    counters: reach_sim::PerfCounters,
+    regs: [u64; 32],
+    mem: Vec<u64>,
+    lbr: Vec<reach_sim::BranchRecord>,
+    ctx_insts: u64,
+}
+
+fn observe(
+    g: &GenProgram,
+    prog: &Program,
+    chunk: u64,
+    switch_on_stall: bool,
+    lbr: bool,
+    force_slow: bool,
+) -> Observed {
+    let (mut m, mut ctx) = machine_for(g);
+    m.switch_on_stall = switch_on_stall;
+    m.lbr_enabled = lbr;
+    if force_slow {
+        m.trace = Some(Trace::new(1 << 12));
+    }
+    let exits = drive(&mut m, prog, &mut ctx, chunk);
+    let mem: Vec<u64> = (0..REGION_WORDS + POOL.len() as u64)
+        .map(|k| m.mem.read(common::BASE + k * 8).expect("aligned"))
+        .collect();
+    Observed {
+        exits,
+        now: m.now,
+        counters: m.counters.clone(),
+        regs: ctx.regs,
+        mem,
+        lbr: m.lbr.snapshot(),
+        ctx_insts: ctx.stats.instructions,
+    }
+}
+
+/// A fixed program exercising the fast-path arms the generator doesn't
+/// emit: call/ret (three deep via a loop), prefetch, and a yield inside
+/// the callee — so step budgets can expire mid-call.
+fn call_prog() -> Program {
+    let r_cnt = Reg(0);
+    let r_one = Reg(1);
+    let r_v = Reg(2);
+    let mut b = ProgramBuilder::new("callprog");
+    let f = b.label();
+    let top = b.label();
+    let done = b.label();
+    b.imm(r_cnt, 3).imm(r_one, 1);
+    b.bind(top);
+    b.branch(Cond::Eqz, r_cnt, done);
+    b.call(f);
+    b.alu(AluOp::Sub, r_cnt, r_cnt, r_one, 1);
+    b.jump(top);
+    b.bind(done);
+    b.halt();
+    b.bind(f);
+    b.prefetch(RB, 64);
+    b.load(r_v, RB, 0);
+    b.push(reach_sim::Inst::Yield {
+        kind: reach_sim::isa::YieldKind::Manual,
+        save_regs: None,
+    });
+    b.store(r_v, RB, 8);
+    b.ret();
+    b.finish().expect("call program is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_path_matches_instrumented_path(
+        g in gen_program(),
+        chunk in prop_oneof![1u64..64, Just(1_000_000u64)],
+        switch_on_stall in any::<bool>(),
+        lbr in any::<bool>(),
+    ) {
+        let slow = observe(&g, &g.prog, chunk, switch_on_stall, lbr, true);
+        let fast = observe(&g, &g.prog, chunk, switch_on_stall, lbr, false);
+        prop_assert_eq!(&slow.exits, &fast.exits, "exit sequences diverge");
+        prop_assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn fast_path_matches_on_calls_and_prefetches(
+        chunk in 1u64..24,
+        switch_on_stall in any::<bool>(),
+        lbr in any::<bool>(),
+    ) {
+        let g = GenProgram { prog: call_prog(), init_words: vec![7; REGION_WORDS as usize] };
+        let slow = observe(&g, &g.prog, chunk, switch_on_stall, lbr, true);
+        let fast = observe(&g, &g.prog, chunk, switch_on_stall, lbr, false);
+        prop_assert_eq!(slow, fast);
+    }
+}
