@@ -1,0 +1,8 @@
+//! Thin wrapper: runs the [`selfheal`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
+//!
+//! [`selfheal`]: reach_bench::experiments::selfheal
+
+fn main() {
+    reach_bench::driver::single_main(&reach_bench::experiments::selfheal::SelfHeal);
+}

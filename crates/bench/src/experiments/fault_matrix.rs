@@ -210,6 +210,7 @@ impl Experiment for FaultMatrix {
             slice_steps: 500,
             overrun_cycles: 1_200,
             max_overruns: 3,
+            ..WatchdogOptions::default()
         };
 
         // Uninstrumented solo latency: the floor LoseOpt classes degrade

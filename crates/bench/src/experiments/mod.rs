@@ -9,6 +9,7 @@ pub mod f1_spectrum;
 pub mod f6_manual_vs_pgo;
 pub mod f9_interyield;
 pub mod fault_matrix;
+pub mod selfheal;
 pub mod simperf;
 pub mod t11_sampling;
 pub mod t12_whatif;
@@ -47,6 +48,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(t16_sfi::T16Sfi),
         Box::new(t17_drift::T17Drift),
         Box::new(fault_matrix::FaultMatrix),
+        Box::new(selfheal::SelfHeal),
         Box::new(simperf::SimPerf),
     ]
 }
@@ -64,7 +66,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let exps = all();
-        assert_eq!(exps.len(), 19);
+        assert_eq!(exps.len(), 20);
         for e in &exps {
             assert!(by_name(e.name()).is_some());
         }

@@ -20,9 +20,10 @@
 
 use crate::experiment::{Cell, CellMetrics, Experiment, Tier};
 use crate::interleave_checked;
+use crate::report::{BenchReport, CellStatus};
 use reach_core::InterleaveOptions;
 use reach_instrument::{instrument_primary, remap_to_origin, smooth_profile, PrimaryOptions};
-use reach_profile::{collect, CollectorConfig};
+use reach_profile::{collect, CollectorConfig, OnlineEstimatorOptions, OnlineStalenessEstimator};
 use reach_sim::{Machine, MachineConfig};
 use reach_workloads::{build_zipf_kv, AddrAlloc, BuiltWorkload, ZipfKvParams};
 
@@ -102,14 +103,18 @@ impl Experiment for T17Drift {
                 out.put_u64("sites", day1_report.sites_selected() as u64)
                     .put_str("traffic", "theta=0.0")
                     .put_f64("eff", run(&shipped, 0.0))
-                    .put_f64("profile_distance", f64::NAN);
+                    .put_f64("profile_distance", f64::NAN)
+                    .put_f64("est_distance", f64::NAN)
+                    .put_f64("est_err", f64::NAN);
             }
             "day2-stale" => {
                 // Traffic drifts hot; the shipped binary is stale overhead.
                 out.put_u64("sites", day1_report.sites_selected() as u64)
                     .put_str("traffic", "theta=2.0")
                     .put_f64("eff", run(&shipped, 2.0))
-                    .put_f64("profile_distance", f64::NAN);
+                    .put_f64("profile_distance", f64::NAN)
+                    .put_f64("est_distance", f64::NAN)
+                    .put_f64("est_err", f64::NAN);
             }
             "day2-repgo" => {
                 // Continuous sampling on the shipped binary under the new
@@ -118,6 +123,27 @@ impl Experiment for T17Drift {
                 let day2_raw = remap_to_origin(&day2_inst_raw, &day1_report.pc_map.origin);
                 let distance = day1_raw.miss_distribution_distance(&day2_raw);
 
+                // The supervisor's online estimator, fed the same
+                // production sample stream (folded to original PCs),
+                // must agree with this offline oracle distance — the
+                // agreement is gated in finish().
+                let mut est = OnlineStalenessEstimator::new(OnlineEstimatorOptions {
+                    window: 1 << 20, // no decay: the oracle sees every sample too
+                    min_samples: 8,
+                });
+                let mut stream: Vec<(usize, u64)> = day2_inst_raw
+                    .l2_miss_samples
+                    .iter()
+                    .map(|(pc, n)| (*pc, *n))
+                    .collect();
+                stream.sort_unstable();
+                for (pc, n) in stream {
+                    if let Some(Some(opc)) = day1_report.pc_map.origin.get(pc) {
+                        est.observe_many(*opc, n);
+                    }
+                }
+                let est_distance = est.staleness_vs(&day1_raw);
+
                 // Re-instrument from the fresh profile.
                 let day2 = smooth_profile(&day2_raw, &orig);
                 let (reshipped, day2_report) =
@@ -125,10 +151,33 @@ impl Experiment for T17Drift {
                 out.put_u64("sites", day2_report.sites_selected() as u64)
                     .put_str("traffic", "theta=2.0")
                     .put_f64("eff", run(&reshipped, 2.0))
-                    .put_f64("profile_distance", distance);
+                    .put_f64("profile_distance", distance)
+                    .put_f64("est_distance", est_distance)
+                    .put_f64("est_err", (est_distance - distance).abs());
             }
             other => panic!("unknown T17 phase {other:?}"),
         }
         out
+    }
+
+    fn finish(&self, report: &mut BenchReport) -> Vec<String> {
+        // The online estimator and the offline remap-and-compare oracle
+        // read the same sample stream; if they disagree, the
+        // supervisor's drift trigger cannot be trusted.
+        let mut violations = Vec::new();
+        for c in &report.cells {
+            if c.status != CellStatus::Ok || c.cell.config != "day2-repgo" {
+                continue;
+            }
+            let err = c.metrics.get_f64("est_err").unwrap_or(f64::NAN);
+            // NaN (estimate withheld / metric missing) must violate too.
+            if err.is_nan() || err > 0.05 {
+                violations.push(format!(
+                    "{}: online estimator disagrees with the oracle distance (|err| = {err:.4})",
+                    c.cell
+                ));
+            }
+        }
+        violations
     }
 }

@@ -24,7 +24,7 @@
 use crate::pipeline::{instrument_with_profile, lint_gate, PipelineError, PipelineOptions};
 use reach_instrument::{instrument_scavenger, smooth_profile, validate_rewrite, LintReport};
 use reach_profile::{collect, validate_profile, Profile, ProfileInvalid};
-use reach_sim::{Context, ExecError, Machine, Program};
+use reach_sim::{Context, ExecError, Machine, MachineConfig, Program};
 
 /// Which rung of the ladder the build landed on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -211,19 +211,12 @@ pub fn pgo_pipeline_degrading(
     // Rung 2: profile-free scavenger instrumentation — keeps the binary
     // cooperative (bounded inter-yield intervals) without trusting any
     // sample.
-    if let Some(sopts) = &opts.pipeline.scavenger {
-        let result = instrument_scavenger(prog, None, &mcfg, sopts)
-            .map_err(PipelineError::from)
-            .and_then(|(scav_prog, report)| {
-                validate_rewrite(prog, &scav_prog, &report.pc_map.origin, false)?;
-                let lint = lint_gate(&scav_prog, &report.pc_map.origin, &opts.pipeline.lint)?;
-                Ok((scav_prog, report, lint))
-            });
+    if let Some(result) = scavenger_only_build(prog, &mcfg, &opts.pipeline) {
         match result {
-            Ok((scav_prog, report, lint_report)) => {
+            Ok((scav_prog, origin, lint_report)) => {
                 return DegradedBuild {
                     prog: scav_prog,
-                    origin: report.pc_map.origin.clone(),
+                    origin,
                     rung: Rung::ScavengerOnly,
                     reasons,
                     reprofiles,
@@ -236,6 +229,40 @@ pub fn pgo_pipeline_degrading(
     }
 
     // Rung 3: the original binary. Cannot fail.
+    uninstrumented_build(prog, reasons, reprofiles)
+}
+
+/// The [`Rung::ScavengerOnly`] build step in isolation: static scavenger
+/// instrumentation, rewrite validation, and the lint gate — no profile
+/// involved. Returns `None` when the pipeline has no scavenger pass
+/// configured. Shared by the ladder's rung 2 and the runtime
+/// supervisor's circuit breaker, which deploys this build directly when
+/// consecutive full-PGO rebuilds keep failing.
+#[allow(clippy::type_complexity)]
+pub fn scavenger_only_build(
+    prog: &Program,
+    mcfg: &MachineConfig,
+    pipeline: &PipelineOptions,
+) -> Option<Result<(Program, Vec<Option<usize>>, LintReport), PipelineError>> {
+    let sopts = pipeline.scavenger.as_ref()?;
+    Some(
+        instrument_scavenger(prog, None, mcfg, sopts)
+            .map_err(PipelineError::from)
+            .and_then(|(scav_prog, report)| {
+                validate_rewrite(prog, &scav_prog, &report.pc_map.origin, false)?;
+                let lint = lint_gate(&scav_prog, &report.pc_map.origin, &pipeline.lint)?;
+                Ok((scav_prog, report.pc_map.origin, lint))
+            }),
+    )
+}
+
+/// The always-succeeding [`Rung::Uninstrumented`] terminal rung as a
+/// [`DegradedBuild`].
+fn uninstrumented_build(
+    prog: &Program,
+    reasons: Vec<DegradeReason>,
+    reprofiles: u32,
+) -> DegradedBuild {
     DegradedBuild {
         origin: (0..prog.len()).map(Some).collect(),
         prog: prog.clone(),

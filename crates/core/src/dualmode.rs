@@ -37,10 +37,24 @@ pub struct WatchdogOptions {
     /// the scavenger that ran it.
     pub overrun_cycles: u64,
     /// Overruns after which a scavenger is quarantined: excluded from
-    /// serving fills for the rest of the run and recorded in
-    /// [`DualModeReport::quarantined`]. (The post-primary drain, where
-    /// latency is no longer at stake, still completes it.)
+    /// serving fills and recorded in [`DualModeReport::quarantined`].
+    /// Without probation (below) the exclusion lasts the rest of the
+    /// run; the post-primary drain, where latency is no longer at stake,
+    /// still completes it either way.
     pub max_overruns: u32,
+    /// Probation window: a quarantined scavenger is re-admitted to the
+    /// fill rotation after this many cycles, with a fresh overrun
+    /// allowance. The window doubles deterministically on every repeat
+    /// quarantine (exponential backoff), so a transiently-faulty
+    /// scavenger gets back to work while a repeat offender spends most
+    /// of the run excluded. `None` (the default) keeps the pre-probation
+    /// behaviour: quarantine is permanent.
+    pub probation_cycles: Option<u64>,
+    /// Quarantine events after which probation stops and the exclusion
+    /// becomes permanent — a persistently-faulty scavenger must not get
+    /// unbounded chances to tax the primary. Irrelevant when
+    /// `probation_cycles` is `None`.
+    pub max_quarantines: u32,
 }
 
 impl Default for WatchdogOptions {
@@ -49,6 +63,8 @@ impl Default for WatchdogOptions {
             slice_steps: 50_000,
             overrun_cycles: 1_200,
             max_overruns: 3,
+            probation_cycles: None,
+            max_quarantines: 3,
         }
     }
 }
@@ -111,8 +127,14 @@ pub struct DualModeReport {
     /// Scavenger slices the watchdog counted as overruns.
     pub overruns: u64,
     /// Context ids of scavengers quarantined by the watchdog (repeat
-    /// overrun offenders, excluded from serving further fills).
+    /// overrun offenders, excluded from serving further fills). With
+    /// probation enabled an id appears once per quarantine *event*, so
+    /// repeat offenders show up multiple times.
     pub quarantined: Vec<usize>,
+    /// Scavengers re-admitted to the fill rotation after serving out a
+    /// probation window (0 unless [`WatchdogOptions::probation_cycles`]
+    /// is set).
+    pub readmitted: u64,
     /// Contexts retired by trap isolation: `(context id, error)` in
     /// fault order. Empty unless [`DualModeOptions::isolate_faults`].
     pub context_faults: Vec<(usize, ExecError)>,
@@ -157,6 +179,11 @@ pub fn run_dual_mode(
     let mut used = vec![false; scavengers.len()];
     let mut overruns = vec![0u32; scavengers.len()];
     let mut quarantined = vec![false; scavengers.len()];
+    // Probation bookkeeping: how many times each scavenger has been
+    // quarantined, and (when on probation) the cycle at which it may
+    // serve fills again.
+    let mut quarantines = vec![0u32; scavengers.len()];
+    let mut release_at: Vec<Option<u64>> = vec![None; scavengers.len()];
     let mut next_scav = 0usize;
     // Per-slice instruction budget: the watchdog preempts long before
     // the overall per-context budget would.
@@ -188,10 +215,16 @@ pub fn run_dual_mode(
                 let mut scavs_this_fill = 0usize;
                 'fill: loop {
                     // Pick the next runnable, non-quarantined scavenger
-                    // (round robin).
+                    // (round robin). A scavenger on probation counts as
+                    // quarantined until its release cycle arrives.
+                    let now = machine.now;
                     let pick = (0..scavengers.len())
                         .map(|off| (next_scav + off) % scavengers.len().max(1))
-                        .find(|&i| scavengers[i].status == Status::Runnable && !quarantined[i]);
+                        .find(|&i| {
+                            scavengers[i].status == Status::Runnable
+                                && !quarantined[i]
+                                && release_at[i].is_none_or(|t| now >= t)
+                        });
                     let Some(i) = pick else {
                         if scavs_this_fill == 0 {
                             report.starved_fills += 1;
@@ -199,6 +232,12 @@ pub fn run_dual_mode(
                         break 'fill;
                     };
                     next_scav = i;
+                    if release_at[i].take().is_some() {
+                        // Probation served: back in the rotation with a
+                        // fresh overrun allowance.
+                        overruns[i] = 0;
+                        report.readmitted += 1;
+                    }
                     if !used[i] {
                         used[i] = true;
                         report.scavengers_used += 1;
@@ -228,9 +267,22 @@ pub fn run_dual_mode(
                             overruns[i] += 1;
                             report.overruns += 1;
                             if overruns[i] >= w.max_overruns {
-                                quarantined[i] = true;
+                                quarantines[i] += 1;
                                 report.quarantined.push(scavengers[i].id);
                                 quarantine_now = true;
+                                match w.probation_cycles {
+                                    // Probation: sit out a deterministic,
+                                    // per-offense-doubling window, then
+                                    // rejoin the rotation.
+                                    Some(p) if quarantines[i] <= w.max_quarantines => {
+                                        let shift = (quarantines[i] - 1).min(31);
+                                        let window = p.saturating_mul(1u64 << shift);
+                                        release_at[i] = Some(machine.now.saturating_add(window));
+                                    }
+                                    // No probation configured, or chances
+                                    // exhausted: permanent.
+                                    _ => quarantined[i] = true,
+                                }
                             }
                         }
                     }
@@ -545,6 +597,7 @@ mod tests {
             slice_steps: 200,
             overrun_cycles: 1_000,
             max_overruns: 3,
+            ..WatchdogOptions::default()
         };
         let tight = run(Some(w));
         assert_eq!(tight.quarantined, vec![1]);
@@ -561,6 +614,93 @@ mod tests {
         // still ran it to completion.
         assert_eq!(tight.scavengers_completed, 1);
         assert!(tight.context_faults.is_empty());
+    }
+
+    /// A phased scavenger: `r1` iterations of hostile non-yielding
+    /// compute, then `r3` cooperative iterations with a scavenger-phase
+    /// yield each (~60 cycles apart).
+    fn phased_scav_prog() -> Program {
+        let mut b = ProgramBuilder::new("phased");
+        b.imm(Reg(2), 1);
+        let hostile = b.label();
+        b.bind(hostile);
+        b.alu(AluOp::Sub, Reg(1), Reg(1), Reg(2), 1);
+        b.branch(Cond::Nez, Reg(1), hostile);
+        let coop = b.label();
+        b.bind(coop);
+        b.alu(AluOp::Add, Reg(4), Reg(4), Reg(2), 60);
+        b.push(Inst::Yield {
+            kind: YieldKind::Scavenger,
+            save_regs: Some((1 << 2) | (1 << 3) | (1 << 4)),
+        });
+        b.alu(AluOp::Sub, Reg(3), Reg(3), Reg(2), 1);
+        b.branch(Cond::Nez, Reg(3), coop);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn probation_readmits_transient_offender_but_not_persistent_one() {
+        let prog = dual_instrumented_chase(true);
+        let scav = phased_scav_prog();
+        let hops = 300u64;
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, hops);
+        let mut primary = ctx_for(0, hp, hops);
+
+        // Transient: 260 hostile iterations (enough for one quarantine),
+        // then cooperative. Persistent: hostile forever.
+        let mut transient = Context::new(1);
+        transient.set_reg(Reg(1), 260);
+        transient.set_reg(Reg(3), 40);
+        let mut persistent = Context::new(2);
+        persistent.set_reg(Reg(1), 1_000_000);
+        persistent.set_reg(Reg(3), 1);
+        let mut scavs = vec![transient, persistent];
+
+        let w = WatchdogOptions {
+            slice_steps: 200,
+            overrun_cycles: 100,
+            max_overruns: 2,
+            probation_cycles: Some(2_000),
+            max_quarantines: 2,
+        };
+        let r = run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &scav,
+            &mut scavs,
+            &DualModeOptions {
+                watchdog: Some(w),
+                drain_scavengers: false,
+                ..DualModeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(primary.status, Status::Done);
+
+        // The transient offender was quarantined once, served its
+        // probation, and finished its work inside the fill rotation.
+        let count = |id: usize| r.quarantined.iter().filter(|&&q| q == id).count();
+        assert_eq!(count(1), 1, "quarantine events: {:?}", r.quarantined);
+        assert_eq!(scavs[0].status, Status::Done, "transient not re-admitted");
+
+        // The persistent offender burned through its probation chances
+        // (initial + max_quarantines re-admissions) and ended permanently
+        // excluded, still unfinished.
+        assert_eq!(
+            count(2),
+            1 + w.max_quarantines as usize,
+            "quarantine events: {:?}",
+            r.quarantined
+        );
+        assert_eq!(scavs[1].status, Status::Runnable);
+        assert!(
+            r.readmitted >= 2,
+            "expected probation re-admissions, got {}",
+            r.readmitted
+        );
     }
 
     #[test]

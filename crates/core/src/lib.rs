@@ -17,6 +17,10 @@
 //! * [`degrade`] — the graceful-degradation ladder: an infallible
 //!   pipeline front end that retries profiling and steps down
 //!   full-PGO → scavenger-only → uninstrumented, recording why.
+//! * [`supervisor`] — the self-healing runtime loop: online staleness
+//!   detection, background re-profile + epoch-boundary hot swap, a
+//!   circuit breaker over the degradation ladder, and overload
+//!   shedding, all recorded in a replay-deterministic incident log.
 //! * [`whatif`] — §4.1 hardware what-if: presence-probe-conditional
 //!   yields.
 //! * [`metrics`] — percentiles and cycle-accounting summaries.
@@ -52,9 +56,13 @@ pub mod executor;
 pub mod metrics;
 pub mod pipeline;
 pub mod scheduler;
+pub mod supervisor;
 pub mod whatif;
 
-pub use degrade::{pgo_pipeline_degrading, DegradeOptions, DegradeReason, DegradedBuild, Rung};
+pub use degrade::{
+    pgo_pipeline_degrading, scavenger_only_build, DegradeOptions, DegradeReason, DegradedBuild,
+    Rung,
+};
 pub use dualmode::{run_dual_mode, DualModeOptions, DualModeReport, WatchdogOptions};
 pub use executor::{
     run_interleaved, run_interleaved_multi, InterleaveOptions, InterleaveReport, Job, SwitchMode,
@@ -63,4 +71,8 @@ pub use executor::{
 pub use metrics::{percentile, percentiles, ratio, CycleSummary};
 pub use pipeline::{lint_gate, pgo_pipeline, InstrumentedBinary, PipelineError, PipelineOptions};
 pub use scheduler::{run_task_queue, SchedPolicy, SchedReport, Task};
+pub use supervisor::{
+    supervise, Action, BreakerState, DeployedBuild, Ev, Incident, Outcome, ServiceWorkload,
+    SupervisorOptions, SupervisorReport, Trigger,
+};
 pub use whatif::{make_conditional, yield_census, YieldCensus};

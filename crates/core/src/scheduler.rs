@@ -58,12 +58,14 @@ pub struct SchedReport {
 }
 
 impl SchedReport {
-    /// The `p`-th percentile of sojourn time.
+    /// The `p`-th percentile of sojourn time. 0 when no task finished —
+    /// callers (the supervisor's SLO guard included) must treat an empty
+    /// report as "no evidence", not panic.
     pub fn sojourn_percentile(&self, p: f64) -> u64 {
         percentile(&self.sojourns, p)
     }
 
-    /// The `p`-th percentile of service time.
+    /// The `p`-th percentile of service time. 0 when no task finished.
     pub fn service_percentile(&self, p: f64) -> u64 {
         percentile(&self.service_times, p)
     }
@@ -477,5 +479,21 @@ mod tests {
                 r.sojourn_percentile(p)
             );
         }
+    }
+
+    #[test]
+    fn empty_report_percentiles_are_zero_not_panic() {
+        // A run where nothing completed (all faulted, all shed, or the
+        // queue never admitted anyone) yields empty sample vectors; every
+        // percentile entry point must degrade to 0 per the `percentiles()`
+        // contract, because the supervisor reads these on *every* epoch —
+        // including epochs where admission shed the whole batch.
+        let r = SchedReport::default();
+        for p in [0.0, 0.5, 0.99, 1.0, f64::NAN, -1.0, 2.0] {
+            assert_eq!(r.sojourn_percentile(p), 0);
+            assert_eq!(r.service_percentile(p), 0);
+            assert_eq!(percentile(&[], p), 0);
+        }
+        assert_eq!(crate::metrics::percentiles(&[], &[0.5, 0.99]), vec![0, 0]);
     }
 }

@@ -1,0 +1,1253 @@
+//! The self-healing runtime supervisor: monitor → diagnose → re-profile
+//! → hot-swap → verify, as a deterministic epoch loop.
+//!
+//! The §3 mechanism is not a one-shot build. Dual-mode execution keeps
+//! hiding 10–100 ns stalls only while the deployed yield placement still
+//! matches the workload; when traffic drifts, the shipped
+//! instrumentation quietly decays into pure overhead. The build-time
+//! half of resilience already exists ([`pgo_pipeline_degrading`] runs
+//! once, before execution); this module closes the loop *while serving
+//! work*:
+//!
+//! * **Monitor** — an [`OnlineStalenessEstimator`] fed from a
+//!   permanently-armed in-situ L2-miss sampler (samples folded back to
+//!   original PC space through the deployed build's origin map), a
+//!   primary-latency SLO guard over a sliding window, and the watchdog's
+//!   scavenger-overrun count.
+//! * **Diagnose** — per-epoch trigger evaluation: staleness distance
+//!   over threshold, SLO p99 violated, overrun trend tripped, admission
+//!   queue overflowing.
+//! * **Repair** — re-profile + re-instrument through the existing
+//!   degradation ladder, then **hot-swap between epochs**: jobs already
+//!   served this epoch finished on the old build, the next epoch's
+//!   admissions start on the new one. A swap-time [`lint_gate`] re-checks
+//!   the rebuilt binary (the build may have been produced concurrently
+//!   with serving; the gate is the last line before deployment).
+//! * **Contain** — when repair itself keeps failing, a circuit breaker
+//!   with SplitMix64-jittered exponential backoff stops hammering the
+//!   profiler and finally *opens*: it deploys the best rung the ladder
+//!   can still reach ([`Rung::ScavengerOnly`] or
+//!   [`Rung::Uninstrumented`]) and gives up on full PGO for the rest of
+//!   the run. Overload is contained separately: a bounded admission
+//!   queue sheds excess arrivals, SLO violations halve the scavenger
+//!   pool (down to a floor), and a clean probation streak restores it
+//!   one scavenger at a time.
+//!
+//! Every transition is recorded as an [`Incident`] — trigger, evidence
+//! metrics, action, outcome — and the whole log serializes to canonical
+//! JSON ([`SupervisorReport::incident_log_json`]) with an FNV-1a digest
+//! for byte-identity gating. The loop touches no wall clock and draws
+//! randomness only from a seeded [`SplitMix64`], so a replay with the
+//! same seed, fault plan, and drift schedule reproduces the log
+//! bit-for-bit.
+
+use crate::degrade::{
+    pgo_pipeline_degrading, scavenger_only_build, DegradeOptions, DegradedBuild, Rung,
+};
+use crate::dualmode::{run_dual_mode, DualModeOptions};
+use crate::metrics::percentile;
+use crate::pipeline::lint_gate;
+use reach_profile::{Json, OnlineEstimatorOptions, OnlineStalenessEstimator, Profile};
+use reach_sim::{Context, HwEvent, Machine, PebsConfig, Program, SplitMix64};
+use std::collections::VecDeque;
+
+/// The binary currently serving traffic, with the metadata the
+/// supervisor needs to judge and replace it.
+#[derive(Clone, Debug)]
+pub struct DeployedBuild {
+    /// The (possibly instrumented) program being executed.
+    pub prog: Program,
+    /// `origin[pc]` = PC in the original program (`None` for inserted
+    /// instructions) — how in-situ samples fold back to the profile's PC
+    /// space.
+    pub origin: Vec<Option<usize>>,
+    /// The ladder rung this build represents.
+    pub rung: Rung,
+    /// The profile the build was made from ([`Rung::FullPgo`] only);
+    /// the staleness reference.
+    pub profile: Option<Profile>,
+}
+
+impl From<DegradedBuild> for DeployedBuild {
+    fn from(b: DegradedBuild) -> Self {
+        DeployedBuild {
+            prog: b.prog,
+            origin: b.origin,
+            rung: b.rung,
+            profile: b.profile,
+        }
+    }
+}
+
+/// The service the supervisor runs: a stream of primary jobs, a
+/// scavenger pool to fill their stalls, and fresh contexts for
+/// re-profiling. All methods take `&mut self` so implementations can
+/// drive deterministic internal RNGs.
+pub trait ServiceWorkload {
+    /// Jobs arriving at the start of `epoch`.
+    fn arrivals(&mut self, epoch: u64) -> usize;
+    /// The primary context for global job number `job`.
+    fn primary_context(&mut self, job: u64) -> Context;
+    /// The scavenger-pool context for `slot` while serving `job` in
+    /// `epoch`.
+    fn scavenger_context(&mut self, epoch: u64, job: u64, slot: usize) -> Context;
+    /// Optional replacement program for the scavenger pool during
+    /// `epoch` (`None` = scavengers run the deployed build). The
+    /// overload scenarios inject runaway fillers here.
+    fn scavenger_program(&mut self, _epoch: u64) -> Option<Program> {
+        None
+    }
+    /// Fresh profiling contexts for rebuild attempt `attempt` (passed
+    /// straight to [`pgo_pipeline_degrading`]).
+    fn profiling_contexts(&mut self, attempt: u32) -> Vec<Context>;
+}
+
+/// Configuration for [`supervise`].
+#[derive(Clone, Debug)]
+pub struct SupervisorOptions {
+    /// Scheduler quanta to run. Swaps happen only on epoch boundaries.
+    pub epochs: u64,
+    /// Jobs served per epoch (the service rate).
+    pub service_per_epoch: usize,
+    /// Admission-queue bound (supervised only): arrivals beyond this
+    /// backlog are shed and recorded. Unsupervised runs queue unboundedly.
+    pub queue_bound: usize,
+    /// Scavenger-pool size per job (the healthy budget).
+    pub scavengers: usize,
+    /// Shedding floor: SLO shedding never reduces the pool below this.
+    pub min_scavengers: usize,
+    /// Primary-latency SLO: p99 over the sliding window above this trips
+    /// the shedder. `u64::MAX` disables the guard.
+    pub slo_p99_cycles: u64,
+    /// Sliding-window length (jobs) for the SLO p99; the guard stays
+    /// quiet until the window is full.
+    pub slo_window: usize,
+    /// Staleness distance (total variation, 0–1) at which the deployed
+    /// profile is declared stale and a rebuild triggers.
+    pub staleness_threshold: f64,
+    /// Online estimator window/warm-up configuration.
+    pub estimator: OnlineEstimatorOptions,
+    /// Sampling period of the permanently-armed in-situ L2-miss sampler.
+    pub insitu_period: u64,
+    /// Watchdog overruns in a single epoch at which a rebuild triggers
+    /// (the overrun-trend guard). `u64::MAX` disables it.
+    pub overrun_trip: u64,
+    /// Clean epochs (no SLO violation, no overruns) required before one
+    /// shed scavenger is restored to the pool.
+    pub probation_epochs: u64,
+    /// Base backoff delay (epochs) after a failed rebuild; doubles per
+    /// consecutive failure.
+    pub backoff_base_epochs: u64,
+    /// Backoff delay cap (epochs), before jitter.
+    pub backoff_max_epochs: u64,
+    /// Consecutive rebuild failures at which the circuit breaker opens
+    /// and the supervisor deploys the best degraded rung instead.
+    pub max_rebuild_failures: u32,
+    /// Epochs after a swap during which rebuild triggers are suppressed
+    /// (the estimator needs time to re-warm against the new reference).
+    pub cooldown_epochs: u64,
+    /// Rebuild-engine configuration (ladder, validation, fault hooks).
+    pub degrade: DegradeOptions,
+    /// Dual-mode execution options for serving jobs.
+    pub dual: DualModeOptions,
+    /// `false` = passive baseline: same serving loop and the same
+    /// estimator bookkeeping, but no triggers, no swaps, no shedding,
+    /// unbounded queue. The experiment's "unsupervised" arm.
+    pub supervise: bool,
+    /// Seed for the backoff jitter (and nothing else).
+    pub seed: u64,
+    /// Fault-injection hook: applied to every rebuilt [`Rung::FullPgo`]
+    /// binary *before* the swap-time lint gate, so tests can exercise
+    /// the gate rejecting a corrupted rebuild.
+    pub build_mutator: Option<fn(&mut Program)>,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        SupervisorOptions {
+            epochs: 16,
+            service_per_epoch: 2,
+            queue_bound: 8,
+            scavengers: 4,
+            min_scavengers: 0,
+            slo_p99_cycles: u64::MAX,
+            slo_window: 8,
+            staleness_threshold: 0.5,
+            estimator: OnlineEstimatorOptions::default(),
+            insitu_period: 127,
+            overrun_trip: u64::MAX,
+            probation_epochs: 2,
+            backoff_base_epochs: 1,
+            backoff_max_epochs: 8,
+            max_rebuild_failures: 3,
+            cooldown_epochs: 2,
+            degrade: DegradeOptions::default(),
+            dual: DualModeOptions {
+                drain_scavengers: false,
+                isolate_faults: true,
+                ..DualModeOptions::default()
+            },
+            supervise: true,
+            seed: 0,
+            build_mutator: None,
+        }
+    }
+}
+
+/// What tripped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// Online staleness distance crossed the threshold.
+    Staleness,
+    /// Sliding-window primary p99 exceeded the SLO.
+    SloViolation,
+    /// Watchdog overruns in one epoch crossed the trip level.
+    OverrunTrend,
+    /// Admission backlog exceeded the queue bound.
+    QueueOverflow,
+    /// A clean probation streak completed.
+    ProbationElapsed,
+}
+
+impl Trigger {
+    fn as_str(self) -> &'static str {
+        match self {
+            Trigger::Staleness => "staleness",
+            Trigger::SloViolation => "slo-violation",
+            Trigger::OverrunTrend => "overrun-trend",
+            Trigger::QueueOverflow => "queue-overflow",
+            Trigger::ProbationElapsed => "probation-elapsed",
+        }
+    }
+}
+
+/// What the supervisor did about it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Hot-swapped a rebuilt binary in at the epoch boundary.
+    Swap {
+        /// Rung of the deployed rebuild.
+        rung: Rung,
+    },
+    /// Rebuild failed; backing off before the next attempt.
+    Backoff {
+        /// Consecutive failures so far.
+        failures: u32,
+        /// First epoch at which a rebuild may be attempted again.
+        until_epoch: u64,
+    },
+    /// Breaker opened: rebuilds abandoned, degraded rung deployed.
+    BreakerOpen {
+        /// Rung of the fallback deployment.
+        rung: Rung,
+    },
+    /// Scavenger pool halved in response to an SLO violation.
+    ShedScavengers {
+        /// Pool size before.
+        from: usize,
+        /// Pool size after.
+        to: usize,
+    },
+    /// One shed scavenger restored after a clean probation streak.
+    RestoreScavenger {
+        /// Pool size after restoration.
+        to: usize,
+    },
+    /// Excess arrivals dropped at admission.
+    ShedAdmissions {
+        /// Jobs dropped this epoch.
+        dropped: u64,
+    },
+}
+
+impl Action {
+    fn to_json(&self) -> Json {
+        let kv = |k: &str, v: Json| (k.to_string(), v);
+        let fields = match self {
+            Action::Swap { rung } => vec![
+                kv("kind", Json::Str("swap".into())),
+                kv("rung", Json::Str(rung.to_string())),
+            ],
+            Action::Backoff {
+                failures,
+                until_epoch,
+            } => vec![
+                kv("kind", Json::Str("backoff".into())),
+                kv("failures", Json::UInt(u64::from(*failures))),
+                kv("until_epoch", Json::UInt(*until_epoch)),
+            ],
+            Action::BreakerOpen { rung } => vec![
+                kv("kind", Json::Str("breaker-open".into())),
+                kv("rung", Json::Str(rung.to_string())),
+            ],
+            Action::ShedScavengers { from, to } => vec![
+                kv("kind", Json::Str("shed-scavengers".into())),
+                kv("from", Json::UInt(*from as u64)),
+                kv("to", Json::UInt(*to as u64)),
+            ],
+            Action::RestoreScavenger { to } => vec![
+                kv("kind", Json::Str("restore-scavenger".into())),
+                kv("to", Json::UInt(*to as u64)),
+            ],
+            Action::ShedAdmissions { dropped } => vec![
+                kv("kind", Json::Str("shed-admissions".into())),
+                kv("dropped", Json::UInt(*dropped)),
+            ],
+        };
+        Json::Object(fields)
+    }
+}
+
+/// How it ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// A binary was (re)deployed on the stated rung.
+    Deployed {
+        /// The deployed rung.
+        rung: Rung,
+    },
+    /// The rebuild was rejected; nothing was deployed.
+    RebuildFailed {
+        /// Human-readable rejection reason (ladder rung or lint).
+        reason: String,
+    },
+    /// The condition was contained without touching the deployment
+    /// (shedding, restoration).
+    Contained,
+}
+
+impl Outcome {
+    fn to_json(&self) -> Json {
+        let kv = |k: &str, v: Json| (k.to_string(), v);
+        let fields = match self {
+            Outcome::Deployed { rung } => vec![
+                kv("kind", Json::Str("deployed".into())),
+                kv("rung", Json::Str(rung.to_string())),
+            ],
+            Outcome::RebuildFailed { reason } => vec![
+                kv("kind", Json::Str("rebuild-failed".into())),
+                kv("reason", Json::Str(reason.clone())),
+            ],
+            Outcome::Contained => vec![kv("kind", Json::Str("contained".into()))],
+        };
+        Json::Object(fields)
+    }
+}
+
+/// One numeric evidence value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Ev {
+    /// An exact counter.
+    U(u64),
+    /// A derived metric.
+    F(f64),
+}
+
+/// One structured incident-log entry: what tripped, the numbers that
+/// prove it, what was done, and how it ended.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Incident {
+    /// Epoch at which the transition happened.
+    pub epoch: u64,
+    /// The tripped trigger.
+    pub trigger: Trigger,
+    /// Named evidence metrics, in a fixed order.
+    pub evidence: Vec<(&'static str, Ev)>,
+    /// The supervisor's response.
+    pub action: Action,
+    /// The result of that response.
+    pub outcome: Outcome,
+}
+
+impl Incident {
+    /// Canonical JSON form (field order fixed, floats shortest
+    /// round-trip) — the unit of the replay-determinism contract.
+    pub fn to_json(&self) -> Json {
+        let ev = self
+            .evidence
+            .iter()
+            .map(|(k, v)| {
+                let j = match v {
+                    Ev::U(n) => Json::UInt(*n),
+                    Ev::F(x) => Json::Float(*x),
+                };
+                ((*k).to_string(), j)
+            })
+            .collect();
+        Json::Object(vec![
+            ("epoch".to_string(), Json::UInt(self.epoch)),
+            (
+                "trigger".to_string(),
+                Json::Str(self.trigger.as_str().into()),
+            ),
+            ("evidence".to_string(), Json::Object(ev)),
+            ("action".to_string(), self.action.to_json()),
+            ("outcome".to_string(), self.outcome.to_json()),
+        ])
+    }
+}
+
+/// Circuit-breaker state at the end of the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Rebuilds allowed.
+    Closed,
+    /// Rebuilds suppressed until the stated epoch (half-open after).
+    Backoff {
+        /// First epoch at which a rebuild may be retried.
+        until_epoch: u64,
+    },
+    /// Rebuilds abandoned for the rest of the run.
+    Open,
+}
+
+/// Everything the supervised run did and measured.
+#[derive(Clone, Debug)]
+pub struct SupervisorReport {
+    /// The full incident log, in order.
+    pub incidents: Vec<Incident>,
+    /// `(epoch, primary latency in cycles)` per served job, in service
+    /// order.
+    pub latencies: Vec<(u64, u64)>,
+    /// Jobs served to completion.
+    pub served: u64,
+    /// Jobs dropped at admission (supervised overload shedding).
+    pub shed_jobs: u64,
+    /// Jobs whose primary faulted under trap isolation.
+    pub job_faults: u64,
+    /// Successful hot swaps (including a breaker-open fallback
+    /// deployment).
+    pub swaps: u64,
+    /// Rebuild attempts (ladder invocations).
+    pub rebuilds: u64,
+    /// Consecutive rebuild failures at end of run.
+    pub rebuild_failures: u32,
+    /// Rung of the binary serving traffic when the run ended.
+    pub final_rung: Rung,
+    /// Circuit-breaker state when the run ended.
+    pub breaker: BreakerState,
+    /// Highest finite staleness estimate observed.
+    pub staleness_peak: f64,
+    /// Last finite staleness estimate observed.
+    pub staleness_last: f64,
+    /// Watchdog overruns across all served jobs.
+    pub overruns: u64,
+    /// Watchdog quarantine events across all served jobs.
+    pub quarantine_events: u64,
+    /// Watchdog probation re-admissions across all served jobs.
+    pub readmissions: u64,
+    /// Scavenger-pool budget at end of run.
+    pub scav_budget_final: usize,
+    /// Epoch of the last deployment change, if any.
+    pub last_swap_epoch: Option<u64>,
+}
+
+impl SupervisorReport {
+    /// p99 primary latency over jobs served at `epoch` or later (0 when
+    /// none were).
+    pub fn p99_after(&self, epoch: u64) -> u64 {
+        let v: Vec<u64> = self
+            .latencies
+            .iter()
+            .filter(|(e, _)| *e >= epoch)
+            .map(|(_, l)| *l)
+            .collect();
+        percentile(&v, 0.99)
+    }
+
+    /// The incident log as canonical JSON text.
+    pub fn incident_log_json(&self) -> String {
+        Json::Array(self.incidents.iter().map(Incident::to_json).collect()).to_string()
+    }
+
+    /// FNV-1a digest of [`SupervisorReport::incident_log_json`] — a
+    /// compact byte-identity check for replay gating.
+    pub fn incident_log_hash(&self) -> u64 {
+        fnv1a(self.incident_log_json().as_bytes())
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// How one rebuild attempt resolved.
+enum Rebuild {
+    /// A lint-clean full-PGO binary ready to deploy.
+    Swapped(Box<DeployedBuild>),
+    Failed {
+        reason: String,
+        /// The ladder's own degraded output when it did not reach
+        /// [`Rung::FullPgo`] — the breaker deploys this on open. `None`
+        /// when the full-PGO build existed but failed the swap-time
+        /// gate (it cannot be trusted; the breaker falls back to a
+        /// fresh scavenger-only build of the original).
+        fallback: Option<Box<DeployedBuild>>,
+    },
+}
+
+/// Runs the self-healing control loop for `opts.epochs` scheduler
+/// quanta, serving `workload` over `initial` and returning the full
+/// report. Infallible by construction: job faults are isolated, rebuild
+/// failures feed the circuit breaker, and the terminal ladder rung
+/// (the original binary) always exists.
+pub fn supervise(
+    machine: &mut Machine,
+    workload: &mut dyn ServiceWorkload,
+    original: &Program,
+    initial: DeployedBuild,
+    opts: &SupervisorOptions,
+) -> SupervisorReport {
+    let mut cur = initial;
+    let mut estimator = OnlineStalenessEstimator::new(opts.estimator);
+    let mut rng = SplitMix64::new(opts.seed ^ 0x5e1f_4ea1);
+    let mut report = SupervisorReport {
+        incidents: Vec::new(),
+        latencies: Vec::new(),
+        served: 0,
+        shed_jobs: 0,
+        job_faults: 0,
+        swaps: 0,
+        rebuilds: 0,
+        rebuild_failures: 0,
+        final_rung: cur.rung,
+        breaker: BreakerState::Closed,
+        staleness_peak: f64::NAN,
+        staleness_last: f64::NAN,
+        overruns: 0,
+        quarantine_events: 0,
+        readmissions: 0,
+        scav_budget_final: opts.scavengers,
+        last_swap_epoch: None,
+    };
+
+    let mut pending: VecDeque<u64> = VecDeque::new();
+    let mut next_job: u64 = 0;
+    let mut window: VecDeque<u64> = VecDeque::new();
+    let mut scav_budget = opts.scavengers;
+    let mut clean_streak: u64 = 0;
+    let mut failures: u32 = 0;
+    let mut breaker = BreakerState::Closed;
+    let mut last_swap: Option<u64> = None;
+
+    for epoch in 0..opts.epochs {
+        // --- Admission: arrivals enqueue; supervised runs shed the
+        // backlog beyond the queue bound (newest first — they would wait
+        // longest anyway).
+        for _ in 0..workload.arrivals(epoch) {
+            pending.push_back(next_job);
+            next_job += 1;
+        }
+        if opts.supervise && pending.len() > opts.queue_bound {
+            let dropped = (pending.len() - opts.queue_bound) as u64;
+            pending.truncate(opts.queue_bound);
+            report.shed_jobs += dropped;
+            report.incidents.push(Incident {
+                epoch,
+                trigger: Trigger::QueueOverflow,
+                evidence: vec![
+                    ("queue_len", Ev::U(opts.queue_bound as u64 + dropped)),
+                    ("queue_bound", Ev::U(opts.queue_bound as u64)),
+                ],
+                action: Action::ShedAdmissions { dropped },
+                outcome: Outcome::Contained,
+            });
+        }
+
+        // --- Serve this epoch's batch with the in-situ sampler armed.
+        // Both policies feed the estimator identically; only the
+        // *actions* differ, so the experiment compares decisions, not
+        // measurement quality.
+        let scav_override = workload.scavenger_program(epoch);
+        let batch = pending.len().min(opts.service_per_epoch);
+        let samplers_before = machine.samplers.len();
+        let sampler = machine.add_sampler(PebsConfig {
+            event: HwEvent::LoadL2Miss,
+            period: opts.insitu_period.max(1),
+            skid: 0,
+            buffer_capacity: 65_536,
+        });
+        let mut epoch_overruns: u64 = 0;
+        for _ in 0..batch {
+            let job = pending.pop_front().expect("batch <= pending");
+            let mut primary = workload.primary_context(job);
+            let mut scavs: Vec<Context> = (0..scav_budget)
+                .map(|slot| workload.scavenger_context(epoch, job, slot))
+                .collect();
+            let scav_prog = scav_override.as_ref().unwrap_or(&cur.prog);
+            match run_dual_mode(
+                machine,
+                &cur.prog,
+                &mut primary,
+                scav_prog,
+                &mut scavs,
+                &opts.dual,
+            ) {
+                Ok(r) => {
+                    report.served += 1;
+                    report.overruns += r.overruns;
+                    report.quarantine_events += r.quarantined.len() as u64;
+                    report.readmissions += r.readmitted;
+                    epoch_overruns += r.overruns;
+                    if let Some(lat) = r.primary_latency {
+                        report.latencies.push((epoch, lat));
+                        window.push_back(lat);
+                        while window.len() > opts.slo_window {
+                            window.pop_front();
+                        }
+                    } else {
+                        report.job_faults += 1;
+                    }
+                }
+                Err(_) => report.job_faults += 1,
+            }
+        }
+        let samples = machine.take_samples(sampler);
+        machine.samplers.truncate(samplers_before);
+        for s in &samples {
+            if let Some(&Some(opc)) = cur.origin.get(s.pc) {
+                estimator.observe(opc);
+            }
+        }
+
+        // --- Diagnose.
+        let staleness = match &cur.profile {
+            Some(p) => estimator.staleness_vs(p),
+            None => f64::NAN,
+        };
+        if staleness.is_finite() {
+            report.staleness_last = staleness;
+            if report.staleness_peak.is_nan() || staleness > report.staleness_peak {
+                report.staleness_peak = staleness;
+            }
+        }
+        if !opts.supervise {
+            continue;
+        }
+
+        let window_p99 = if window.len() >= opts.slo_window.max(1) {
+            let v: Vec<u64> = window.iter().copied().collect();
+            Some(percentile(&v, 0.99))
+        } else {
+            None
+        };
+        let slo_violated = window_p99.is_some_and(|p| p > opts.slo_p99_cycles);
+
+        // Rebuild triggers (staleness first: repairing the build beats
+        // shedding capacity when both fire).
+        let stale_trip = staleness.is_finite() && staleness >= opts.staleness_threshold;
+        let overrun_trip = epoch_overruns >= opts.overrun_trip;
+        let rebuild_allowed = match breaker {
+            BreakerState::Open => false,
+            BreakerState::Backoff { until_epoch } => epoch >= until_epoch,
+            BreakerState::Closed => true,
+        } && last_swap
+            .is_none_or(|s| epoch.saturating_sub(s) >= opts.cooldown_epochs);
+        if rebuild_allowed && (stale_trip || overrun_trip) {
+            let trigger = if stale_trip {
+                Trigger::Staleness
+            } else {
+                Trigger::OverrunTrend
+            };
+            let evidence = vec![
+                ("staleness", Ev::F(staleness)),
+                ("epoch_overruns", Ev::U(epoch_overruns)),
+                ("retained_samples", Ev::U(estimator.retained())),
+            ];
+            report.rebuilds += 1;
+            match attempt_rebuild(machine, workload, original, opts) {
+                Rebuild::Swapped(b) => {
+                    cur = *b;
+                    failures = 0;
+                    breaker = BreakerState::Closed;
+                    last_swap = Some(epoch);
+                    report.swaps += 1;
+                    estimator.reset();
+                    window.clear();
+                    report.incidents.push(Incident {
+                        epoch,
+                        trigger,
+                        evidence,
+                        action: Action::Swap { rung: cur.rung },
+                        outcome: Outcome::Deployed { rung: cur.rung },
+                    });
+                }
+                Rebuild::Failed { reason, fallback } => {
+                    failures += 1;
+                    if failures >= opts.max_rebuild_failures {
+                        breaker = BreakerState::Open;
+                        let fb = fallback
+                            .map(|b| *b)
+                            .unwrap_or_else(|| fallback_build(original, machine, opts));
+                        cur = fb;
+                        last_swap = Some(epoch);
+                        report.swaps += 1;
+                        estimator.reset();
+                        window.clear();
+                        report.incidents.push(Incident {
+                            epoch,
+                            trigger,
+                            evidence,
+                            action: Action::BreakerOpen { rung: cur.rung },
+                            outcome: Outcome::Deployed { rung: cur.rung },
+                        });
+                    } else {
+                        let shift = (failures - 1).min(31);
+                        let delay = opts
+                            .backoff_base_epochs
+                            .saturating_mul(1u64 << shift)
+                            .min(opts.backoff_max_epochs);
+                        let jitter = rng.next_below(opts.backoff_base_epochs + 1);
+                        let until_epoch = epoch + 1 + delay + jitter;
+                        breaker = BreakerState::Backoff { until_epoch };
+                        report.incidents.push(Incident {
+                            epoch,
+                            trigger,
+                            evidence,
+                            action: Action::Backoff {
+                                failures,
+                                until_epoch,
+                            },
+                            outcome: Outcome::RebuildFailed { reason },
+                        });
+                    }
+                }
+            }
+        } else if slo_violated && scav_budget > opts.min_scavengers {
+            // Overload containment: halve the scavenger pool toward the
+            // floor. Evidence is the window p99 that tripped.
+            let from = scav_budget;
+            let to = (scav_budget / 2).max(opts.min_scavengers);
+            scav_budget = to;
+            clean_streak = 0;
+            window.clear();
+            report.incidents.push(Incident {
+                epoch,
+                trigger: Trigger::SloViolation,
+                evidence: vec![
+                    ("window_p99", Ev::U(window_p99.unwrap_or(0))),
+                    ("slo_p99", Ev::U(opts.slo_p99_cycles)),
+                    ("epoch_overruns", Ev::U(epoch_overruns)),
+                ],
+                action: Action::ShedScavengers { from, to },
+                outcome: Outcome::Contained,
+            });
+        } else if scav_budget < opts.scavengers && !slo_violated && epoch_overruns == 0 {
+            // Probation: a clean streak earns one scavenger back.
+            clean_streak += 1;
+            if clean_streak >= opts.probation_epochs {
+                scav_budget += 1;
+                clean_streak = 0;
+                report.incidents.push(Incident {
+                    epoch,
+                    trigger: Trigger::ProbationElapsed,
+                    evidence: vec![
+                        ("clean_epochs", Ev::U(opts.probation_epochs)),
+                        ("window_p99", Ev::U(window_p99.unwrap_or(0))),
+                    ],
+                    action: Action::RestoreScavenger { to: scav_budget },
+                    outcome: Outcome::Contained,
+                });
+            }
+        } else if slo_violated || epoch_overruns > 0 {
+            clean_streak = 0;
+        }
+    }
+
+    report.final_rung = cur.rung;
+    report.breaker = breaker;
+    report.rebuild_failures = failures;
+    report.scav_budget_final = scav_budget;
+    report.last_swap_epoch = last_swap;
+    report
+}
+
+/// One rebuild attempt: ladder, fault hook, swap-time lint gate.
+fn attempt_rebuild(
+    machine: &mut Machine,
+    workload: &mut dyn ServiceWorkload,
+    original: &Program,
+    opts: &SupervisorOptions,
+) -> Rebuild {
+    let b = pgo_pipeline_degrading(
+        machine,
+        original,
+        |attempt| workload.profiling_contexts(attempt),
+        &opts.degrade,
+    );
+    if b.rung != Rung::FullPgo {
+        let reason = format!("rebuild degraded to {}", b.rung);
+        return Rebuild::Failed {
+            reason,
+            fallback: Some(Box::new(DeployedBuild::from(b))),
+        };
+    }
+    let mut deployed = DeployedBuild::from(b);
+    if let Some(mutate) = opts.build_mutator {
+        mutate(&mut deployed.prog);
+    }
+    match lint_gate(
+        &deployed.prog,
+        &deployed.origin,
+        &opts.degrade.pipeline.lint,
+    ) {
+        Ok(_) => Rebuild::Swapped(Box::new(deployed)),
+        Err(e) => Rebuild::Failed {
+            reason: format!("swap-time lint gate: {e}"),
+            fallback: None,
+        },
+    }
+}
+
+/// The breaker's open-state deployment when no usable degraded build
+/// exists: a fresh scavenger-only build of the original, or the
+/// original itself.
+fn fallback_build(
+    original: &Program,
+    machine: &Machine,
+    opts: &SupervisorOptions,
+) -> DeployedBuild {
+    match scavenger_only_build(original, &machine.cfg, &opts.degrade.pipeline) {
+        Some(Ok((prog, origin, _lint))) => DeployedBuild {
+            prog,
+            origin,
+            rung: Rung::ScavengerOnly,
+            profile: None,
+        },
+        _ => DeployedBuild {
+            prog: original.clone(),
+            origin: (0..original.len()).map(Some).collect(),
+            rung: Rung::Uninstrumented,
+            profile: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualmode::WatchdogOptions;
+    use reach_profile::Periods;
+    use reach_sim::{AluOp, Cond, Inst, MachineConfig, ProgramBuilder, Reg};
+    use reach_workloads::{build_zipf_kv, AddrAlloc, ZipfKvParams};
+
+    const LOOKUPS: u64 = 1024;
+
+    /// A zipf-KV service with independently skewed *profiled* and *live*
+    /// traffic: the instrumentation was built against the stale pool's
+    /// skew, live jobs arrive with `live_theta`'s. `(0.0, 3.0)` is the
+    /// drift scenario — the deployed profile expects the value table to
+    /// miss on every lookup, while live traffic hits its hot head and
+    /// misses only on the request stream.
+    ///
+    /// Every job and every profiling attempt draws a *fresh* instance
+    /// (disjoint table + request stream) so misses are compulsory and
+    /// the sample stream is not silenced by cache residency from earlier
+    /// epochs.
+    struct ZipfService {
+        prog: Program,
+        live: Vec<reach_workloads::InstanceSetup>,
+        cursor: usize,
+        prof_stale: Vec<reach_workloads::InstanceSetup>,
+        prof_live: Vec<reach_workloads::InstanceSetup>,
+        prof_cursor: usize,
+        /// Runaway program injected into the scavenger pool during the
+        /// given epoch range (the overload scenario).
+        runaway: Option<(Program, std::ops::Range<u64>)>,
+    }
+
+    impl ZipfService {
+        fn new(m: &mut Machine, stale_theta: f64, live_theta: f64) -> ZipfService {
+            let mut alloc = AddrAlloc::new(0x800_0000);
+            let params = |theta: f64, seed: u64| ZipfKvParams {
+                table_entries: 1 << 15,
+                lookups: LOOKUPS,
+                theta,
+                seed,
+            };
+            let live = build_zipf_kv(&mut m.mem, &mut alloc, params(live_theta, 13), 56);
+            let stale = build_zipf_kv(&mut m.mem, &mut alloc, params(stale_theta, 11), 8);
+            let prof = build_zipf_kv(&mut m.mem, &mut alloc, params(live_theta, 17), 12);
+            ZipfService {
+                prog: live.prog,
+                live: live.instances,
+                cursor: 0,
+                prof_stale: stale.instances,
+                prof_live: prof.instances,
+                prof_cursor: 0,
+                runaway: None,
+            }
+        }
+
+        fn next_live(&mut self) -> Context {
+            let i = self.cursor;
+            self.cursor += 1;
+            self.live[i % self.live.len()].make_context(1_000 + i)
+        }
+
+        /// Profiling contexts drawn from the *stale* distribution — what
+        /// the initial deployment was built against.
+        fn stale_profiling_contexts(&self, attempt: u32) -> Vec<Context> {
+            let n = self.prof_stale.len();
+            (0..2)
+                .map(|k| {
+                    self.prof_stale[(2 * attempt as usize + k) % n]
+                        .make_context(9_500 + 2 * attempt as usize + k)
+                })
+                .collect()
+        }
+    }
+
+    impl ServiceWorkload for ZipfService {
+        fn arrivals(&mut self, _epoch: u64) -> usize {
+            1
+        }
+        fn primary_context(&mut self, _job: u64) -> Context {
+            self.next_live()
+        }
+        fn scavenger_context(&mut self, _epoch: u64, _job: u64, _slot: usize) -> Context {
+            self.next_live()
+        }
+        fn scavenger_program(&mut self, epoch: u64) -> Option<Program> {
+            let (prog, range) = self.runaway.as_ref()?;
+            range.contains(&epoch).then(|| prog.clone())
+        }
+        /// Rebuilds profile what is *actually* arriving: live traffic.
+        fn profiling_contexts(&mut self, _attempt: u32) -> Vec<Context> {
+            let n = self.prof_live.len();
+            (0..2)
+                .map(|_| {
+                    let i = self.prof_cursor;
+                    self.prof_cursor += 1;
+                    self.prof_live[i % n].make_context(9_000 + i)
+                })
+                .collect()
+        }
+    }
+
+    /// A cooperative-free infinite loop for the scavenger pool.
+    fn runaway_prog() -> Program {
+        let mut b = ProgramBuilder::new("runaway");
+        b.imm(Reg(1), 1);
+        let top = b.label();
+        b.bind(top);
+        b.alu(AluOp::Add, Reg(2), Reg(2), Reg(1), 1);
+        b.branch(Cond::Nez, Reg(1), top);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    /// Degrade options whose profiling periods suit the small test
+    /// workload (1024 lookups would yield too few samples at the
+    /// default period).
+    fn fast_degrade() -> DegradeOptions {
+        let mut d = DegradeOptions::default();
+        d.pipeline.collector.periods = Periods {
+            l2_miss: 13,
+            l3_miss: 13,
+            stall: 13,
+            retired: 13,
+        };
+        d
+    }
+
+    /// Initial deployment: full-PGO build against the service's
+    /// *profiled* (possibly stale) distribution.
+    fn initial_build(m: &mut Machine, svc: &ZipfService, orig: &Program) -> DeployedBuild {
+        let b = pgo_pipeline_degrading(
+            m,
+            orig,
+            |a| svc.stale_profiling_contexts(a),
+            &fast_degrade(),
+        );
+        assert_eq!(b.rung, Rung::FullPgo, "{:?}", b.reasons);
+        DeployedBuild::from(b)
+    }
+
+    fn drift_opts() -> SupervisorOptions {
+        SupervisorOptions {
+            epochs: 10,
+            service_per_epoch: 1,
+            scavengers: 2,
+            insitu_period: 31,
+            estimator: OnlineEstimatorOptions {
+                window: 2048,
+                min_samples: 8,
+            },
+            staleness_threshold: 0.6,
+            seed: 42,
+            degrade: fast_degrade(),
+            ..SupervisorOptions::default()
+        }
+    }
+
+    #[test]
+    fn drift_triggers_rebuild_and_hot_swap() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+
+        let r = supervise(&mut m, &mut svc, &orig, init, &drift_opts());
+        assert_eq!(r.swaps, 1, "{}", r.incident_log_json());
+        assert_eq!(r.final_rung, Rung::FullPgo);
+        assert_eq!(r.breaker, BreakerState::Closed);
+        assert!(r.incidents.iter().any(|i| i.trigger == Trigger::Staleness
+            && i.action
+                == Action::Swap {
+                    rung: Rung::FullPgo
+                }));
+        // The stale profile read as drifted; the rebuilt one matches
+        // live traffic again.
+        assert!(r.staleness_peak > 0.5, "{}", r.staleness_peak);
+        assert!(r.staleness_last < 0.3, "{}", r.staleness_last);
+        assert_eq!(r.served, 10);
+        assert!(m.samplers.is_empty(), "in-situ sampler left armed");
+        // Recovery: post-swap jobs are faster than the stale-build ones.
+        let swap_epoch = r.last_swap_epoch.unwrap();
+        // The swap lands at the end of `swap_epoch`, so that epoch's job
+        // still ran on the stale build.
+        let pre = r
+            .latencies
+            .iter()
+            .filter(|(e, _)| *e <= swap_epoch)
+            .map(|(_, l)| *l)
+            .max()
+            .unwrap();
+        assert!(
+            r.p99_after(swap_epoch + 1) < pre,
+            "post-swap p99 {} !< pre-swap max {pre}",
+            r.p99_after(swap_epoch + 1)
+        );
+    }
+
+    #[test]
+    fn unsupervised_measures_but_never_acts() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+
+        let opts = SupervisorOptions {
+            supervise: false,
+            ..drift_opts()
+        };
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        assert!(r.incidents.is_empty());
+        assert_eq!(r.swaps, 0);
+        assert_eq!(r.rebuilds, 0);
+        assert_eq!(r.final_rung, Rung::FullPgo);
+        // Monitoring parity: the estimator still saw the drift.
+        assert!(r.staleness_peak > 0.5, "{}", r.staleness_peak);
+        assert_eq!(r.scav_budget_final, opts.scavengers);
+    }
+
+    #[test]
+    fn failing_rebuilds_back_off_then_open_breaker_on_recorded_rung() {
+        fn wipe(p: &mut Profile) {
+            p.total_samples = 0;
+        }
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+
+        let opts = SupervisorOptions {
+            epochs: 12,
+            max_rebuild_failures: 2,
+            backoff_base_epochs: 1,
+            backoff_max_epochs: 4,
+            degrade: DegradeOptions {
+                max_reprofiles: 0,
+                profile_mutator: Some(wipe),
+                ..fast_degrade()
+            },
+            ..drift_opts()
+        };
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        assert_eq!(r.breaker, BreakerState::Open, "{}", r.incident_log_json());
+        assert_eq!(r.final_rung, Rung::ScavengerOnly);
+        assert_eq!(r.rebuilds, 2);
+        assert!(r.incidents.iter().any(|i| matches!(
+            i.action,
+            Action::Backoff { failures: 1, .. }
+        ) && matches!(&i.outcome, Outcome::RebuildFailed { reason }
+                    if reason.contains("scavenger-only"))));
+        assert!(r.incidents.iter().any(|i| i.action
+            == Action::BreakerOpen {
+                rung: Rung::ScavengerOnly
+            }
+            && i.outcome
+                == Outcome::Deployed {
+                    rung: Rung::ScavengerOnly
+                }));
+    }
+
+    #[test]
+    fn corrupted_rebuild_is_rejected_by_swap_time_lint_gate() {
+        fn clobber_yield_saves(p: &mut Program) {
+            for inst in &mut p.insts {
+                if let Inst::Yield { save_regs, .. } = inst {
+                    *save_regs = Some(0);
+                }
+            }
+        }
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+
+        let opts = SupervisorOptions {
+            epochs: 12,
+            max_rebuild_failures: 2,
+            backoff_base_epochs: 1,
+            build_mutator: Some(clobber_yield_saves),
+            ..drift_opts()
+        };
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        // Every rebuild reaches FullPgo but the corrupted binary fails
+        // the swap-time gate; the breaker ends up deploying a *fresh*
+        // scavenger-only build of the original.
+        assert!(
+            r.incidents
+                .iter()
+                .any(|i| matches!(&i.outcome, Outcome::RebuildFailed { reason }
+                    if reason.contains("lint"))),
+            "{}",
+            r.incident_log_json()
+        );
+        assert_eq!(r.breaker, BreakerState::Open);
+        assert_eq!(r.final_rung, Rung::ScavengerOnly);
+    }
+
+    #[test]
+    fn overload_sheds_scavengers_then_restores_after_probation() {
+        let overload_opts = || SupervisorOptions {
+            epochs: 16,
+            service_per_epoch: 1,
+            scavengers: 2,
+            slo_p99_cycles: 800_000,
+            slo_window: 2,
+            probation_epochs: 4,
+            insitu_period: 31,
+            staleness_threshold: 2.0,
+            degrade: fast_degrade(),
+            dual: DualModeOptions {
+                drain_scavengers: false,
+                isolate_faults: true,
+                watchdog: Some(WatchdogOptions {
+                    slice_steps: 2_000,
+                    overrun_cycles: 500,
+                    max_overruns: u32::MAX, // containment left to the supervisor
+                    ..WatchdogOptions::default()
+                }),
+                ..DualModeOptions::default()
+            },
+            seed: 7,
+            ..SupervisorOptions::default()
+        };
+        // Healthy match (profiled == live) so the only disturbance is
+        // the runaway scavenger program during the burst.
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 0.0);
+        svc.runaway = Some((runaway_prog(), 2..10));
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+
+        let opts = overload_opts();
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        let sheds = r
+            .incidents
+            .iter()
+            .filter(|i| matches!(i.action, Action::ShedScavengers { .. }))
+            .count();
+        let restores = r
+            .incidents
+            .iter()
+            .filter(|i| matches!(i.action, Action::RestoreScavenger { .. }))
+            .count();
+        assert!(sheds >= 2, "{}", r.incident_log_json());
+        assert!(restores >= 1, "{}", r.incident_log_json());
+        assert!(r.scav_budget_final >= 1, "{}", r.scav_budget_final);
+        // After shedding bottoms out and the burst ends, the tail meets
+        // the SLO again.
+        assert!(
+            r.p99_after(12) <= opts.slo_p99_cycles,
+            "tail p99 {} > SLO",
+            r.p99_after(12)
+        );
+
+        // The passive arm pays the runaway tax with no incidents.
+        let mut m2 = Machine::new(MachineConfig::default());
+        let mut svc2 = ZipfService::new(&mut m2, 0.0, 0.0);
+        svc2.runaway = Some((runaway_prog(), 2..10));
+        let orig2 = svc2.prog.clone();
+        let init2 = initial_build(&mut m2, &svc2, &orig2);
+        let base = supervise(
+            &mut m2,
+            &mut svc2,
+            &orig2,
+            init2,
+            &SupervisorOptions {
+                supervise: false,
+                ..overload_opts()
+            },
+        );
+        assert!(base.incidents.is_empty());
+        assert_eq!(base.scav_budget_final, opts.scavengers);
+        // Across the burst the supervised pool sheds the runaways (and
+        // may probe one back in via probation — that oscillation is the
+        // design), so its mean latency beats the passive arm, which pays
+        // the runaway tax every epoch.
+        let burst_mean = |rep: &SupervisorReport| {
+            let v: Vec<u64> = rep
+                .latencies
+                .iter()
+                .filter(|(e, _)| (2..10).contains(e))
+                .map(|(_, l)| *l)
+                .collect();
+            v.iter().sum::<u64>() / v.len() as u64
+        };
+        assert!(
+            burst_mean(&r) < burst_mean(&base),
+            "supervised burst mean {} !< unsupervised {}",
+            burst_mean(&r),
+            burst_mean(&base)
+        );
+    }
+
+    #[test]
+    fn replay_produces_byte_identical_incident_log() {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::default());
+            let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+            let orig = svc.prog.clone();
+            let init = initial_build(&mut m, &svc, &orig);
+            let opts = SupervisorOptions {
+                epochs: 12,
+                max_rebuild_failures: 3,
+                degrade: DegradeOptions {
+                    max_reprofiles: 0,
+                    profile_mutator: Some(|p: &mut Profile| p.total_samples = 0),
+                    ..fast_degrade()
+                },
+                ..drift_opts()
+            };
+            supervise(&mut m, &mut svc, &orig, init, &opts)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.incident_log_json(), b.incident_log_json());
+        assert_eq!(a.incident_log_hash(), b.incident_log_hash());
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.breaker, b.breaker);
+        assert_eq!(a.staleness_last.to_bits(), b.staleness_last.to_bits());
+        assert!(!a.incidents.is_empty(), "scenario produced no incidents");
+    }
+}

@@ -15,11 +15,15 @@
 //!   branch records — the scavenger pass's timing source.
 //! * [`accuracy`] scores a profile against simulator ground truth
 //!   (precision/recall/MAE), powering the sampling-parameter experiment.
+//! * [`online`] keeps a bounded in-situ sample window while serving live
+//!   traffic and estimates how stale the deployed profile has become —
+//!   the trigger signal for the run-time supervisor's re-PGO loop.
 
 pub mod accuracy;
 pub mod collector;
 pub mod json;
 pub mod lbr_analysis;
+pub mod online;
 pub mod profile;
 pub mod validate;
 
@@ -27,5 +31,6 @@ pub use accuracy::{score, Accuracy};
 pub use collector::{collect, CollectionCost, CollectorConfig};
 pub use json::{Json, JsonError};
 pub use lbr_analysis::{BlockLatencyEstimator, RunTiming};
+pub use online::{OnlineEstimatorOptions, OnlineStalenessEstimator};
 pub use profile::{Periods, Profile};
 pub use validate::{validate_profile, ProfileInvalid, ProfileValidationOptions};
