@@ -1,0 +1,7 @@
+//! VERIFY: translation-validation proof wall-time and mutation-kill
+//! rate across the workload suite (see
+//! [`reach_bench::experiments::verify`]).
+
+fn main() {
+    reach_bench::driver::single_main(&reach_bench::experiments::verify::Verify);
+}

@@ -1,0 +1,126 @@
+//! `reach-verify` — translation validation of pipeline rewrites from
+//! the command line.
+//!
+//! Runs the PGO pipeline on named workloads and *proves* each shipped
+//! binary observationally equivalent to its original (modulo inserted
+//! yields/prefetches) with the symbolic equivalence checker, printing
+//! the proof report (or, with `--sfi`, proving the SFI sandboxing pass
+//! instead, with the maskedness obligation enabled).
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --bin reach_verify -- [WORKLOAD ...] [options]
+//! ```
+//!
+//! Workloads: `chase multi hash zipf tiered` (default: all).
+//!
+//! Options:
+//!
+//! * `--sfi` — verify the SFI sandboxing pass on the original binary
+//!   (RL0008 then also requires every rewritten access to be provably
+//!   masked).
+//! * `--deny CODE`, `--warn CODE`, `--allow CODE` — override a lint's
+//!   level; `CODE` is a stable code (`RL0009`) or name
+//!   (`save-set-unprovable`).
+//! * `--list` — print the lint catalog and exit.
+//!
+//! Exit status: 0 when every rewrite proved out, 1 when any deny-level
+//! equivalence finding fired, 2 on usage errors.
+
+use reach_bench::{fresh, pgo_build, workload_builder, WORKLOAD_NAMES};
+use reach_core::PipelineOptions;
+use reach_instrument::{
+    instrument_sfi, verify_rewrite, verify_rewrite_map, Level, Lint, LintOptions,
+};
+use reach_sim::MachineConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reach_verify [WORKLOAD ...] [--sfi] \
+         [--deny CODE] [--warn CODE] [--allow CODE] [--list]\n\
+         workloads: {}",
+        WORKLOAD_NAMES.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_lint_or_die(arg: Option<String>) -> Lint {
+    let Some(s) = arg else { usage() };
+    match Lint::parse(&s) {
+        Some(l) => l,
+        None => {
+            eprintln!("unknown lint '{s}'; known lints:");
+            for l in Lint::ALL {
+                eprintln!("  {} {}", l.code(), l.name());
+            }
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut names: Vec<String> = Vec::new();
+    let mut sfi = false;
+    let mut opts = LintOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sfi" => sfi = true,
+            "--deny" => opts
+                .levels
+                .push((parse_lint_or_die(args.next()), Level::Deny)),
+            "--warn" => opts
+                .levels
+                .push((parse_lint_or_die(args.next()), Level::Warn)),
+            "--allow" => opts
+                .levels
+                .push((parse_lint_or_die(args.next()), Level::Allow)),
+            "--list" => {
+                println!("{:<8} {:<32} default", "code", "name");
+                for l in Lint::ALL {
+                    println!("{:<8} {:<32} {}", l.code(), l.name(), l.default_level());
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => usage(),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+    opts.sfi = sfi;
+
+    let cfg = MachineConfig::default();
+    let mut any_deny = false;
+    for name in &names {
+        let Some(build) = workload_builder(name) else {
+            eprintln!(
+                "unknown workload '{name}'; use: {}",
+                WORKLOAD_NAMES.join(" ")
+            );
+            std::process::exit(2);
+        };
+        let (_, w) = fresh(&cfg, &*build);
+        let (variant, report) = if sfi {
+            let (sandboxed, rep) = instrument_sfi(&w.prog).expect("SFI pass failed");
+            (
+                "sfi",
+                verify_rewrite_map(&w.prog, &sandboxed, &rep.pc_map, &opts),
+            )
+        } else {
+            let built = pgo_build(&cfg, &*build, 1, &PipelineOptions::default());
+            (
+                "pipeline",
+                verify_rewrite(&w.prog, &built.prog, &built.origin, &opts),
+            )
+        };
+        println!("== reach-verify: {name} ({variant}) ==");
+        println!("{report}");
+        any_deny |= !report.ok();
+    }
+    if any_deny {
+        std::process::exit(1);
+    }
+}

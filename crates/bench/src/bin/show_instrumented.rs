@@ -1,23 +1,27 @@
 //! Developer tool: run the PGO pipeline on a named workload and print the
 //! annotated before/after disassembly — the "objdump" view of what the
 //! instrumenter did and why. With `--lint`, also print the `reach-lint`
-//! reports for both the original and the instrumented binary.
+//! reports for both the original and the instrumented binary. With
+//! `--verify`, run the symbolic equivalence checker and print its proof
+//! report (nonzero exit if the rewrite does not prove out).
 //!
 //! ```sh
-//! cargo run --release -p reach-bench --bin show_instrumented [chase|multi|hash|zipf|tiered] [--lint]
+//! cargo run --release -p reach-bench --bin show_instrumented [chase|multi|hash|zipf|tiered] [--lint] [--verify]
 //! ```
 
 use reach_bench::{fresh, pgo_build, workload_builder, WORKLOAD_NAMES};
 use reach_core::PipelineOptions;
-use reach_instrument::{lint_program, LintOptions};
+use reach_instrument::{lint_program, verify_rewrite, LintOptions};
 use reach_sim::MachineConfig;
 
 fn main() {
     let mut name = "chase".to_string();
     let mut lint = false;
+    let mut verify = false;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--lint" => lint = true,
+            "--verify" => verify = true,
             other => name = other.to_string(),
         }
     }
@@ -72,5 +76,14 @@ fn main() {
         print!("{}", lint_program(&w.prog, None, &opts));
         println!("\n== {name}: reach-lint (instrumented) ==");
         print!("{}", lint_program(&built.prog, Some(&built.origin), &opts));
+    }
+
+    if verify {
+        println!("\n== {name}: translation validation ==");
+        let report = verify_rewrite(&w.prog, &built.prog, &built.origin, &LintOptions::default());
+        println!("{report}");
+        if !report.ok() {
+            std::process::exit(1);
+        }
     }
 }

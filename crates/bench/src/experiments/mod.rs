@@ -24,6 +24,7 @@ pub mod t4_concurrency;
 pub mod t5_latency;
 pub mod t7_policy;
 pub mod t8_ablation;
+pub mod verify;
 
 use crate::experiment::Experiment;
 
@@ -50,6 +51,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(fault_matrix::FaultMatrix),
         Box::new(selfheal::SelfHeal),
         Box::new(simperf::SimPerf),
+        Box::new(verify::Verify),
     ]
 }
 
@@ -66,7 +68,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let exps = all();
-        assert_eq!(exps.len(), 20);
+        assert_eq!(exps.len(), 21);
         for e in &exps {
             assert!(by_name(e.name()).is_some());
         }

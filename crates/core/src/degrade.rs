@@ -21,7 +21,9 @@
 //! Every descent is recorded as a [`DegradeReason`], so a deployment that
 //! lands on a lower rung is *diagnosable*, not silent.
 
-use crate::pipeline::{instrument_with_profile, lint_gate, PipelineError, PipelineOptions};
+use crate::pipeline::{
+    instrument_with_profile, lint_gate, verify_gate, PipelineError, PipelineOptions,
+};
 use reach_instrument::{instrument_scavenger, smooth_profile, validate_rewrite, LintReport};
 use reach_profile::{collect, validate_profile, Profile, ProfileInvalid};
 use reach_sim::{Context, ExecError, Machine, MachineConfig, Program};
@@ -250,6 +252,9 @@ pub fn scavenger_only_build(
             .map_err(PipelineError::from)
             .and_then(|(scav_prog, report)| {
                 validate_rewrite(prog, &scav_prog, &report.pc_map.origin, false)?;
+                if pipeline.verify {
+                    verify_gate(prog, &scav_prog, &report.pc_map.origin, &pipeline.lint)?;
+                }
                 let lint = lint_gate(&scav_prog, &report.pc_map.origin, &pipeline.lint)?;
                 Ok((scav_prog, report.pc_map.origin, lint))
             }),

@@ -69,7 +69,9 @@ pub use executor::{
     POISON,
 };
 pub use metrics::{percentile, percentiles, ratio, CycleSummary};
-pub use pipeline::{lint_gate, pgo_pipeline, InstrumentedBinary, PipelineError, PipelineOptions};
+pub use pipeline::{
+    lint_gate, pgo_pipeline, verify_gate, InstrumentedBinary, PipelineError, PipelineOptions,
+};
 pub use scheduler::{run_task_queue, SchedPolicy, SchedReport, Task};
 pub use supervisor::{
     supervise, Action, BreakerState, DeployedBuild, Ev, Incident, Outcome, ServiceWorkload,

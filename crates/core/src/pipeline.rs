@@ -14,8 +14,8 @@
 
 use reach_instrument::{
     instrument_primary, instrument_scavenger, lint_program, smooth_profile, validate_rewrite,
-    LintOptions, LintReport, PrimaryOptions, PrimaryReport, RewriteError, ScavReport,
-    ScavengerOptions, ValidationError,
+    verify_rewrite, verify_rewrite_map, LintOptions, LintReport, PcMap, PrimaryOptions,
+    PrimaryReport, RewriteError, ScavReport, ScavengerOptions, ValidationError, VerifyReport,
 };
 use reach_profile::{
     collect, validate_profile, CollectionCost, CollectorConfig, Profile, ProfileInvalid,
@@ -37,6 +37,12 @@ pub struct PipelineOptions {
     /// findings abort the pipeline ([`PipelineError::Lint`]); warnings
     /// ride along in [`InstrumentedBinary::lint_report`].
     pub lint: LintOptions,
+    /// Run the symbolic equivalence checker ([`reach_instrument::equiv`])
+    /// on every rewriting pass and on the composed end-to-end pc map,
+    /// refusing unprovable rewrites ([`PipelineError::Verify`]). On by
+    /// default — opt out only for experiments that deliberately ship
+    /// corrupted builds.
+    pub verify: bool,
     /// Profile admission control: provenance (binary fingerprint) and
     /// sample-coverage checks on the smoothed profile before it steers
     /// instrumentation. `None` (the default) skips the check — opt in
@@ -54,6 +60,7 @@ impl Default for PipelineOptions {
             primary: PrimaryOptions::default(),
             scavenger: Some(ScavengerOptions::default()),
             lint: LintOptions::default(),
+            verify: true,
             validation: None,
         }
     }
@@ -73,6 +80,10 @@ pub enum PipelineError {
     /// defense-in-depth gate next to translation validation. The report
     /// carries every finding.
     Lint(LintReport),
+    /// The symbolic equivalence checker could not prove a rewrite
+    /// observationally equivalent to its input (RL0008–RL0010). The
+    /// report carries the proof obligations that failed.
+    Verify(Box<VerifyReport>),
     /// The profile failed admission control (wrong provenance or too
     /// little coverage to steer instrumentation safely).
     Profile(ProfileInvalid),
@@ -89,6 +100,13 @@ impl std::fmt::Display for PipelineError {
                     f,
                     "reach-lint refused the binary ({} deny-level finding(s)):\n{report}",
                     report.deny_count()
+                )
+            }
+            PipelineError::Verify(report) => {
+                write!(
+                    f,
+                    "equivalence verification refused the rewrite ({} deny-level finding(s)):\n{report}",
+                    report.lint.deny_count()
                 )
             }
             PipelineError::Profile(e) => write!(f, "profile rejected: {e}"),
@@ -159,6 +177,41 @@ pub fn lint_gate(
     }
 }
 
+/// The translation-validation shipping gate: proves `rewritten`
+/// observationally equivalent to `original` (modulo inserted
+/// yields/prefetches) under the rewrite's origin map, refusing
+/// ([`PipelineError::Verify`]) when any obligation cannot be
+/// discharged. Returns the (clean) proof report otherwise.
+pub fn verify_gate(
+    original: &Program,
+    rewritten: &Program,
+    origin: &[Option<usize>],
+    opts: &LintOptions,
+) -> Result<VerifyReport, PipelineError> {
+    let report = verify_rewrite(original, rewritten, origin, opts);
+    if report.ok() {
+        Ok(report)
+    } else {
+        Err(PipelineError::Verify(Box::new(report)))
+    }
+}
+
+/// [`verify_gate`] over a full [`PcMap`] (adds the `new_of`↔`origin`
+/// consistency obligation, RL0010).
+fn verify_map_gate(
+    original: &Program,
+    rewritten: &Program,
+    map: &PcMap,
+    opts: &LintOptions,
+) -> Result<VerifyReport, PipelineError> {
+    let report = verify_rewrite_map(original, rewritten, map, opts);
+    if report.ok() {
+        Ok(report)
+    } else {
+        Err(PipelineError::Verify(Box::new(report)))
+    }
+}
+
 /// Runs the full pipeline: profile `prog` by executing
 /// `profiling_contexts` on `machine`, then instrument.
 ///
@@ -220,9 +273,13 @@ pub(crate) fn instrument_with_profile(
     ),
     PipelineError,
 > {
-    // Step (ii a): primary instrumentation, translation-validated.
+    // Step (ii a): primary instrumentation, translation-validated
+    // syntactically and (unless opted out) proven equivalent.
     let (primary_prog, primary_report) = instrument_primary(prog, profile, mcfg, &opts.primary)?;
     validate_rewrite(prog, &primary_prog, &primary_report.pc_map.origin, false)?;
+    if opts.verify {
+        verify_map_gate(prog, &primary_prog, &primary_report.pc_map, &opts.lint)?;
+    }
 
     // Step (ii b): scavenger instrumentation, carrying profile PCs across
     // the first rewrite via the origin map.
@@ -232,6 +289,13 @@ pub(crate) fn instrument_with_profile(
             let (scav_prog, scav_report) =
                 instrument_scavenger(&primary_prog, Some((profile, &origin1)), mcfg, sopts)?;
             validate_rewrite(&primary_prog, &scav_prog, &scav_report.pc_map.origin, false)?;
+            if opts.verify {
+                // Each pass proves out on its own, and the composed
+                // end-to-end map must tell a consistent story too.
+                verify_map_gate(&primary_prog, &scav_prog, &scav_report.pc_map, &opts.lint)?;
+                let composed_map = primary_report.pc_map.then(&scav_report.pc_map);
+                verify_map_gate(prog, &scav_prog, &composed_map, &opts.lint)?;
+            }
             let composed: Vec<Option<usize>> = scav_report
                 .pc_map
                 .origin

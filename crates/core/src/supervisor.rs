@@ -21,8 +21,10 @@
 //!   degradation ladder, then **hot-swap between epochs**: jobs already
 //!   served this epoch finished on the old build, the next epoch's
 //!   admissions start on the new one. A swap-time [`lint_gate`] re-checks
-//!   the rebuilt binary (the build may have been produced concurrently
-//!   with serving; the gate is the last line before deployment).
+//!   the rebuilt binary, and the symbolic equivalence checker
+//!   ([`verify_gate`]) re-proves it equivalent to the original (the
+//!   build may have been produced concurrently with serving; the gates
+//!   are the last line before deployment).
 //! * **Contain** — when repair itself keeps failing, a circuit breaker
 //!   with SplitMix64-jittered exponential backoff stops hammering the
 //!   profiler and finally *opens*: it deploys the best rung the ladder
@@ -46,7 +48,7 @@ use crate::degrade::{
 };
 use crate::dualmode::{run_dual_mode, DualModeOptions};
 use crate::metrics::percentile;
-use crate::pipeline::lint_gate;
+use crate::pipeline::{lint_gate, verify_gate};
 use reach_profile::{Json, OnlineEstimatorOptions, OnlineStalenessEstimator, Profile};
 use reach_sim::{Context, HwEvent, Machine, PebsConfig, Program, SplitMix64};
 use std::collections::VecDeque;
@@ -791,17 +793,32 @@ fn attempt_rebuild(
     if let Some(mutate) = opts.build_mutator {
         mutate(&mut deployed.prog);
     }
-    match lint_gate(
+    if let Err(e) = lint_gate(
         &deployed.prog,
         &deployed.origin,
         &opts.degrade.pipeline.lint,
     ) {
-        Ok(_) => Rebuild::Swapped(Box::new(deployed)),
-        Err(e) => Rebuild::Failed {
+        return Rebuild::Failed {
             reason: format!("swap-time lint gate: {e}"),
             fallback: None,
-        },
+        };
     }
+    // Beyond the lint gate: prove the deployed image equivalent to the
+    // original it claims to instrument before the epoch-boundary swap.
+    if opts.degrade.pipeline.verify {
+        if let Err(e) = verify_gate(
+            original,
+            &deployed.prog,
+            &deployed.origin,
+            &opts.degrade.pipeline.lint,
+        ) {
+            return Rebuild::Failed {
+                reason: format!("swap-time verify gate: {e}"),
+                fallback: None,
+            };
+        }
+    }
+    Rebuild::Swapped(Box::new(deployed))
 }
 
 /// The breaker's open-state deployment when no usable degraded build
@@ -1118,6 +1135,53 @@ mod tests {
                 .iter()
                 .any(|i| matches!(&i.outcome, Outcome::RebuildFailed { reason }
                     if reason.contains("lint"))),
+            "{}",
+            r.incident_log_json()
+        );
+        assert_eq!(r.breaker, BreakerState::Open);
+        assert_eq!(r.final_rung, Rung::ScavengerOnly);
+    }
+
+    #[test]
+    fn semantically_corrupted_rebuild_is_rejected_by_swap_time_verify_gate() {
+        // Skew the load that consumes the first inserted prefetch. The
+        // lint gate only *warns* about the orphaned prefetch (RL0002),
+        // so on its own it would swap this wrong-address binary in; the
+        // equivalence checker proves the load diverges from the
+        // original and refuses the swap.
+        fn skew_prefetched_load(p: &mut Program) {
+            let Some(ppc) = p
+                .insts
+                .iter()
+                .position(|i| matches!(i, Inst::Prefetch { .. }))
+            else {
+                return;
+            };
+            for inst in &mut p.insts[ppc..] {
+                if let Inst::Load { offset, .. } = inst {
+                    *offset += 8;
+                    return;
+                }
+            }
+        }
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+
+        let opts = SupervisorOptions {
+            epochs: 12,
+            max_rebuild_failures: 2,
+            backoff_base_epochs: 1,
+            build_mutator: Some(skew_prefetched_load),
+            ..drift_opts()
+        };
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        assert!(
+            r.incidents
+                .iter()
+                .any(|i| matches!(&i.outcome, Outcome::RebuildFailed { reason }
+                    if reason.contains("verify gate") && reason.contains("RL0008"))),
             "{}",
             r.incident_log_json()
         );

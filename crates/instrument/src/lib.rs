@@ -23,9 +23,15 @@
 //! 9. [`analyses`] — reaching definitions, available prefetches,
 //!    anticipated loads, SFI maskedness.
 //! 10. [`lint`] — `reach-lint`, the static verifier: stable-coded,
-//!     PC-anchored diagnostics (RL0001–RL0007) over the analyses, used
+//!     PC-anchored diagnostics (RL0001–RL0010) over the analyses, used
 //!     as a defense-in-depth shipping gate next to translation
 //!     validation.
+//! 11. [`symexec`] + [`equiv`] — translation validation: a symbolic
+//!     evaluator over a small term algebra and a CFG bisimulation
+//!     checker that *proves* each rewrite observationally equivalent to
+//!     its input modulo inserted yields/prefetches, discharging
+//!     save-mask, prefetch-address and SFI-maskedness obligations
+//!     (RL0008–RL0010).
 //!
 //! All passes are semantics-preserving: instrumented programs compute the
 //! same results as the originals under any interleaving (enforced by
@@ -39,6 +45,7 @@ pub mod counting;
 pub mod dataflow;
 pub mod dependence;
 pub mod elide;
+pub mod equiv;
 pub mod lint;
 pub mod liveness;
 pub mod loops;
@@ -46,6 +53,7 @@ pub mod primary;
 pub mod rewrite;
 pub mod scavenger;
 pub mod sfi;
+pub mod symexec;
 pub mod validate;
 
 pub use analyses::{
@@ -58,6 +66,7 @@ pub use counting::{instrument_counting, CountingInstrumented, R_COUNTER_BASE};
 pub use dataflow::{solve, DataflowProblem, Direction, Solution};
 pub use dependence::{coalesce_groups, hoistable_to_start};
 pub use elide::{elide_yields, ElideMode, ElideReport};
+pub use equiv::{verify_rewrite, verify_rewrite_map, VerifyReport};
 pub use lint::{lint_program, Diagnostic, Level, Lint, LintOptions, LintReport};
 pub use liveness::{regset_to_string, Liveness, LivenessProblem, RegSet, ALL_REGS};
 pub use loops::{natural_loops, Dominators, NaturalLoop};
@@ -65,4 +74,5 @@ pub use primary::{instrument_primary, PrimaryOptions, PrimaryReport};
 pub use rewrite::{insert_before, Insertion, PcMap, RewriteError};
 pub use scavenger::{instrument_scavenger, ScavReport, ScavengerOptions};
 pub use sfi::{instrument_sfi, SfiReport, R_SFI_ADDR, R_SFI_MASK};
+pub use symexec::{sym_exec_range, BlockRun, MemEvent, MemKind, SymExit, Term, TermId, TermPool};
 pub use validate::{validate_rewrite, ValidationError};

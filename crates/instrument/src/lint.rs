@@ -16,6 +16,9 @@
 //! | RL0005 | sfi-escape                     | deny    | a memory access whose address is not provably masked, or a clobber of the mask register (SFI mode only) |
 //! | RL0006 | unreachable-code               | warn    | instructions no path from entry can execute |
 //! | RL0007 | branch-into-instrumentation    | deny    | a control transfer targets the middle of an inserted run instead of an original instruction's entry |
+//! | RL0008 | pass-equivalence-violation     | deny    | translation validation ([`crate::equiv`]) cannot prove the rewrite observationally equivalent |
+//! | RL0009 | save-set-unprovable            | deny    | a yield's save mask cannot be proven sufficient — an unsaved register flows to a use |
+//! | RL0010 | pcmap-inconsistent             | deny    | a rewrite's pc map is not a faithful order-preserving embedding of the original |
 //!
 //! Diagnostics are PC-anchored with stable codes so tests (and humans)
 //! can match on them. Deny-level findings make
@@ -50,11 +53,20 @@ pub enum Lint {
     /// RL0007: a control transfer into the middle of inserted
     /// instrumentation.
     BranchIntoInstrumentation,
+    /// RL0008: translation validation cannot prove the rewrite
+    /// observationally equivalent to its input (see [`crate::equiv`]).
+    PassEquivalenceViolation,
+    /// RL0009: a yield's save mask cannot be proven sufficient — an
+    /// unsaved register can flow from the yield to a use.
+    SaveSetUnprovable,
+    /// RL0010: a rewrite's pc map is internally inconsistent or not an
+    /// order-preserving embedding of the original program.
+    PcMapInconsistent,
 }
 
 impl Lint {
     /// Every lint, in code order.
-    pub const ALL: [Lint; 7] = [
+    pub const ALL: [Lint; 10] = [
         Lint::ClobberedLiveAtYield,
         Lint::PrefetchWithoutConsumingLoad,
         Lint::RedundantPrefetch,
@@ -62,6 +74,9 @@ impl Lint {
         Lint::SfiEscape,
         Lint::UnreachableCode,
         Lint::BranchIntoInstrumentation,
+        Lint::PassEquivalenceViolation,
+        Lint::SaveSetUnprovable,
+        Lint::PcMapInconsistent,
     ];
 
     /// The stable diagnostic code (`"RL0001"`...).
@@ -74,6 +89,9 @@ impl Lint {
             Lint::SfiEscape => "RL0005",
             Lint::UnreachableCode => "RL0006",
             Lint::BranchIntoInstrumentation => "RL0007",
+            Lint::PassEquivalenceViolation => "RL0008",
+            Lint::SaveSetUnprovable => "RL0009",
+            Lint::PcMapInconsistent => "RL0010",
         }
     }
 
@@ -87,6 +105,9 @@ impl Lint {
             Lint::SfiEscape => "sfi-escape",
             Lint::UnreachableCode => "unreachable-code",
             Lint::BranchIntoInstrumentation => "branch-into-instrumentation",
+            Lint::PassEquivalenceViolation => "pass-equivalence-violation",
+            Lint::SaveSetUnprovable => "save-set-unprovable",
+            Lint::PcMapInconsistent => "pcmap-inconsistent",
         }
     }
 
@@ -103,9 +124,12 @@ impl Lint {
     /// hygiene lints warn.
     pub fn default_level(self) -> Level {
         match self {
-            Lint::ClobberedLiveAtYield | Lint::SfiEscape | Lint::BranchIntoInstrumentation => {
-                Level::Deny
-            }
+            Lint::ClobberedLiveAtYield
+            | Lint::SfiEscape
+            | Lint::BranchIntoInstrumentation
+            | Lint::PassEquivalenceViolation
+            | Lint::SaveSetUnprovable
+            | Lint::PcMapInconsistent => Level::Deny,
             Lint::PrefetchWithoutConsumingLoad
             | Lint::RedundantPrefetch
             | Lint::UnboundedInterYieldLoop
