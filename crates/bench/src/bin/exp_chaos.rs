@@ -1,0 +1,8 @@
+//! Thin wrapper: runs the [`chaos`] experiment through the shared parallel
+//! driver (`--smoke --jobs N --out-dir DIR`; see `reach_bench::driver`).
+//!
+//! [`chaos`]: reach_bench::experiments::chaos
+
+fn main() {
+    reach_bench::driver::single_main(&reach_bench::experiments::chaos::Chaos);
+}

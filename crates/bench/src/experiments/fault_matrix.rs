@@ -301,6 +301,13 @@ impl Experiment for FaultMatrix {
             }
             None => f64::NAN, // trapped: isolated and reported, no latency
         };
+        // Per-channel injection counts (pipeline + eval injectors
+        // summed): additive columns after the original metrics, so the
+        // long-standing baseline values stay byte-identical.
+        let channel = |f: fn(&reach_sim::FaultLog) -> u64| {
+            pm.faults.as_ref().map(|i| f(&i.log)).unwrap_or(0)
+                + em.faults.as_ref().map(|i| f(&i.log)).unwrap_or(0)
+        };
         let mut out = CellMetrics::new();
         out.put_str("rung", built.rung.to_string())
             .put_str("why", why)
@@ -310,7 +317,15 @@ impl Experiment for FaultMatrix {
             .put_u64("quarantined", rep.quarantined.len() as u64)
             .put_u64("overruns", rep.overruns)
             .put_u64("ctx_faults", rep.context_faults.len() as u64)
-            .put_u64("injected", injected);
+            .put_u64("injected", injected)
+            .put_u64("inj_pebs_dropped", channel(|l| l.pebs_events_dropped))
+            .put_u64("inj_pebs_pc_corrupted", channel(|l| l.pebs_pcs_corrupted))
+            .put_u64("inj_lbr_dropped", channel(|l| l.lbr_records_dropped))
+            .put_u64(
+                "inj_prefetch_corrupted",
+                channel(|l| l.prefetches_corrupted),
+            )
+            .put_u64("inj_traps", channel(|l| l.traps_injected));
         out
     }
 

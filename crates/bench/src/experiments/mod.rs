@@ -4,6 +4,7 @@
 //! paper table/figure; [`all`] returns the full suite in EXPERIMENTS.md
 //! order and is what `exp_all` drives in-process.
 
+pub mod chaos;
 pub mod f10_dualmode;
 pub mod f1_spectrum;
 pub mod f6_manual_vs_pgo;
@@ -50,6 +51,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(t17_drift::T17Drift),
         Box::new(fault_matrix::FaultMatrix),
         Box::new(selfheal::SelfHeal),
+        Box::new(chaos::Chaos),
         Box::new(simperf::SimPerf),
         Box::new(verify::Verify),
     ]
@@ -68,7 +70,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let exps = all();
-        assert_eq!(exps.len(), 21);
+        assert_eq!(exps.len(), 22);
         for e in &exps {
             assert!(by_name(e.name()).is_some());
         }

@@ -315,7 +315,7 @@ impl Experiment for SelfHeal {
             ));
         }
 
-        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts).expect("validated config");
 
         let sheds = r
             .incidents

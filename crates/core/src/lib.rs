@@ -50,15 +50,21 @@
 //! w.instances[0].assert_checksum(&ctxs[0]);
 //! ```
 
+pub mod chaos;
 pub mod degrade;
 pub mod dualmode;
 pub mod executor;
+pub mod journal;
 pub mod metrics;
 pub mod pipeline;
 pub mod scheduler;
 pub mod supervisor;
 pub mod whatif;
 
+pub use chaos::{
+    minimize, random_schedule, run_campaigns, run_schedule, CampaignReport, ChaosOptions,
+    ChaosSchedule, ChaosWorld, ScheduleRun,
+};
 pub use degrade::{
     pgo_pipeline_degrading, scavenger_only_build, DegradeOptions, DegradeReason, DegradedBuild,
     Rung,
@@ -68,13 +74,16 @@ pub use executor::{
     run_interleaved, run_interleaved_multi, InterleaveOptions, InterleaveReport, Job, SwitchMode,
     POISON,
 };
+pub use journal::{project, Journal, JournalRecord, JournalState, Replay, StoredBuild};
 pub use metrics::{percentile, percentiles, ratio, CycleSummary};
 pub use pipeline::{
     lint_gate, pgo_pipeline, verify_gate, InstrumentedBinary, PipelineError, PipelineOptions,
 };
 pub use scheduler::{run_task_queue, SchedPolicy, SchedReport, Task};
 pub use supervisor::{
-    supervise, Action, BreakerState, DeployedBuild, Ev, Incident, Outcome, ServiceWorkload,
-    SupervisorOptions, SupervisorReport, Trigger,
+    incidents_hash, incidents_json, recover, supervise, supervise_journaled, Action, BreakerState,
+    CrashPoint, DeployedBuild, Ev, Incident, Outcome, RecoverOptions, Recovery, ResumeState,
+    ServiceWorkload, SuperviseExit, SupervisorConfigError, SupervisorOptions, SupervisorReport,
+    Trigger,
 };
 pub use whatif::{make_conditional, yield_census, YieldCensus};

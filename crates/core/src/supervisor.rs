@@ -47,6 +47,7 @@ use crate::degrade::{
     pgo_pipeline_degrading, scavenger_only_build, DegradeOptions, DegradedBuild, Rung,
 };
 use crate::dualmode::{run_dual_mode, DualModeOptions};
+use crate::journal::{project, Journal, JournalRecord, StoredBuild};
 use crate::metrics::percentile;
 use crate::pipeline::{lint_gate, verify_gate};
 use reach_profile::{Json, OnlineEstimatorOptions, OnlineStalenessEstimator, Profile};
@@ -209,6 +210,8 @@ pub enum Trigger {
     QueueOverflow,
     /// A clean probation streak completed.
     ProbationElapsed,
+    /// The process restarted after a crash and [`recover`] ran.
+    CrashRecovery,
 }
 
 impl Trigger {
@@ -219,8 +222,66 @@ impl Trigger {
             Trigger::OverrunTrend => "overrun-trend",
             Trigger::QueueOverflow => "queue-overflow",
             Trigger::ProbationElapsed => "probation-elapsed",
+            Trigger::CrashRecovery => "crash-recovery",
         }
     }
+}
+
+/// A degenerate [`SupervisorOptions`] configuration, rejected at
+/// [`supervise`]/[`recover`] entry instead of producing silently odd
+/// behavior mid-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupervisorConfigError {
+    /// `max_rebuild_failures == 0`: the breaker would open on the first
+    /// trigger without ever attempting a rebuild.
+    ZeroMaxRebuildFailures,
+    /// `slo_window == 0` while the SLO guard is armed: a zero-width p99
+    /// window would trip on every served job.
+    ZeroSloWindow,
+    /// `estimator.window == 0`: a zero-width staleness window can never
+    /// retain a sample, so the estimator would be permanently blind.
+    ZeroEstimatorWindow,
+    /// `min_scavengers > scavengers`: the shedding floor exceeds the
+    /// pool, so the first shed would *grow* the pool.
+    MinScavengersAbovePool,
+}
+
+impl std::fmt::Display for SupervisorConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupervisorConfigError::ZeroMaxRebuildFailures => {
+                write!(f, "max_rebuild_failures must be >= 1")
+            }
+            SupervisorConfigError::ZeroSloWindow => {
+                write!(f, "slo_window must be >= 1 while the SLO guard is armed")
+            }
+            SupervisorConfigError::ZeroEstimatorWindow => {
+                write!(f, "estimator.window must be >= 1")
+            }
+            SupervisorConfigError::MinScavengersAbovePool => {
+                write!(f, "min_scavengers must not exceed scavengers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SupervisorConfigError {}
+
+/// Rejects degenerate configurations (see [`SupervisorConfigError`]).
+fn validate_options(opts: &SupervisorOptions) -> Result<(), SupervisorConfigError> {
+    if opts.max_rebuild_failures == 0 {
+        return Err(SupervisorConfigError::ZeroMaxRebuildFailures);
+    }
+    if opts.slo_p99_cycles != u64::MAX && opts.slo_window == 0 {
+        return Err(SupervisorConfigError::ZeroSloWindow);
+    }
+    if opts.estimator.window == 0 {
+        return Err(SupervisorConfigError::ZeroEstimatorWindow);
+    }
+    if opts.min_scavengers > opts.scavengers {
+        return Err(SupervisorConfigError::MinScavengersAbovePool);
+    }
+    Ok(())
 }
 
 /// What the supervisor did about it.
@@ -260,6 +321,23 @@ pub enum Action {
         /// Jobs dropped this epoch.
         dropped: u64,
     },
+    /// Crash recovery replayed the journal and re-validated the
+    /// recovered build; it serves again on its recorded rung.
+    Recovered {
+        /// Rung of the recovered deployment.
+        rung: Rung,
+        /// Journal records replayed.
+        replayed: u64,
+        /// True when a torn tail was detected and truncated.
+        truncated: bool,
+    },
+    /// Crash recovery could not trust the recorded deployment (artifact
+    /// missing, or it failed the recovery-time lint/verify gates) and
+    /// fell down the degradation ladder instead.
+    RecoveryDegraded {
+        /// Rung of the fallback deployment.
+        rung: Rung,
+    },
 }
 
 impl Action {
@@ -294,6 +372,20 @@ impl Action {
             Action::ShedAdmissions { dropped } => vec![
                 kv("kind", Json::Str("shed-admissions".into())),
                 kv("dropped", Json::UInt(*dropped)),
+            ],
+            Action::Recovered {
+                rung,
+                replayed,
+                truncated,
+            } => vec![
+                kv("kind", Json::Str("recovered".into())),
+                kv("rung", Json::Str(rung.to_string())),
+                kv("replayed", Json::UInt(*replayed)),
+                kv("truncated", Json::UInt(u64::from(*truncated))),
+            ],
+            Action::RecoveryDegraded { rung } => vec![
+                kv("kind", Json::Str("recovery-degraded".into())),
+                kv("rung", Json::Str(rung.to_string())),
             ],
         };
         Json::Object(fields)
@@ -459,14 +551,26 @@ impl SupervisorReport {
 
     /// The incident log as canonical JSON text.
     pub fn incident_log_json(&self) -> String {
-        Json::Array(self.incidents.iter().map(Incident::to_json).collect()).to_string()
+        incidents_json(&self.incidents)
     }
 
     /// FNV-1a digest of [`SupervisorReport::incident_log_json`] — a
     /// compact byte-identity check for replay gating.
     pub fn incident_log_hash(&self) -> u64 {
-        fnv1a(self.incident_log_json().as_bytes())
+        incidents_hash(&self.incidents)
     }
+}
+
+/// Canonical JSON text of any incident sequence — also usable on a log
+/// *concatenated across crash segments and recoveries*, which is how the
+/// chaos engine extends the replay-determinism contract across restarts.
+pub fn incidents_json(incidents: &[Incident]) -> String {
+    Json::Array(incidents.iter().map(Incident::to_json).collect()).to_string()
+}
+
+/// FNV-1a digest of [`incidents_json`].
+pub fn incidents_hash(incidents: &[Incident]) -> u64 {
+    fnv1a(incidents_json(incidents).as_bytes())
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -491,20 +595,149 @@ enum Rebuild {
         /// fresh scavenger-only build of the original).
         fallback: Option<Box<DeployedBuild>>,
     },
+    /// The crash channel fired between the lint and verify gates
+    /// (journaled mode only).
+    Crashed,
+}
+
+/// Where in the supervisor loop a crash landed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Inside a journal append: at most a torn prefix of the record
+    /// reached the durable image.
+    MidJournalAppend,
+    /// After a rebuild trigger accepted, before/while the ladder ran.
+    MidRebuild,
+    /// Inside a rebuild attempt, between the swap-time lint gate and
+    /// the symbolic-equivalence verify gate.
+    BetweenGates,
+    /// After the deploy record went durable, before the in-memory swap.
+    MidSwap,
+}
+
+impl CrashPoint {
+    /// Stable label, used in repro output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrashPoint::MidJournalAppend => "mid-journal-append",
+            CrashPoint::MidRebuild => "mid-rebuild",
+            CrashPoint::BetweenGates => "between-gates",
+            CrashPoint::MidSwap => "mid-swap",
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+const CP_MID_APPEND: u64 = 1;
+const CP_MID_REBUILD: u64 = 2;
+const CP_BETWEEN_GATES: u64 = 3;
+const CP_MID_SWAP: u64 = 4;
+
+/// The durable state [`recover`] hands back for the restarted loop to
+/// resume from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumeState {
+    /// First epoch the restarted loop serves.
+    pub epoch: u64,
+    /// Next global job number to admit.
+    pub next_job: u64,
+    /// Breaker state as of the last durable transition.
+    pub breaker: BreakerState,
+    /// Consecutive rebuild failures at that transition.
+    pub failures: u32,
+    /// Scavenger budget as of the last durable change. The clean
+    /// probation streak deliberately restarts at zero: a shed pool must
+    /// serve its probation *after* the restart, never be silently
+    /// re-admitted by recovery.
+    pub scav_budget: usize,
+}
+
+/// How a journaled supervision segment ended.
+#[derive(Clone, Debug)]
+pub enum SuperviseExit {
+    /// The loop served all its epochs and flushed the journal.
+    Completed(SupervisorReport),
+    /// An injected crash killed the process mid-loop. The report covers
+    /// the segment up to the crash (volatile — a real crash would lose
+    /// it; the chaos engine keeps it for its oracles).
+    Crashed {
+        /// Which loop stage the crash landed in.
+        point: CrashPoint,
+        /// Epoch being served when it landed.
+        epoch: u64,
+        /// The segment's partial report.
+        report: SupervisorReport,
+    },
+}
+
+impl SuperviseExit {
+    /// The segment report, however the segment ended.
+    pub fn report(&self) -> &SupervisorReport {
+        match self {
+            SuperviseExit::Completed(r) => r,
+            SuperviseExit::Crashed { report, .. } => report,
+        }
+    }
 }
 
 /// Runs the self-healing control loop for `opts.epochs` scheduler
 /// quanta, serving `workload` over `initial` and returning the full
-/// report. Infallible by construction: job faults are isolated, rebuild
-/// failures feed the circuit breaker, and the terminal ladder rung
-/// (the original binary) always exists.
+/// report. Infallible once the configuration is validated: job faults
+/// are isolated, rebuild failures feed the circuit breaker, and the
+/// terminal ladder rung (the original binary) always exists.
 pub fn supervise(
     machine: &mut Machine,
     workload: &mut dyn ServiceWorkload,
     original: &Program,
     initial: DeployedBuild,
     opts: &SupervisorOptions,
-) -> SupervisorReport {
+) -> Result<SupervisorReport, SupervisorConfigError> {
+    validate_options(opts)?;
+    match run_loop(machine, workload, original, initial, opts, None, None) {
+        SuperviseExit::Completed(r) => Ok(r),
+        SuperviseExit::Crashed { .. } => unreachable!("crash points are journaled-mode only"),
+    }
+}
+
+/// [`supervise`] with a durable [`Journal`]: every decision that must
+/// survive a restart is written ahead of the in-memory transition, and
+/// the fault injector's crash channel is consulted at every loop stage.
+/// Pass `resume` from [`recover`] to continue a crashed run.
+pub fn supervise_journaled(
+    machine: &mut Machine,
+    workload: &mut dyn ServiceWorkload,
+    original: &Program,
+    initial: DeployedBuild,
+    opts: &SupervisorOptions,
+    journal: &mut Journal,
+    resume: Option<ResumeState>,
+) -> Result<SuperviseExit, SupervisorConfigError> {
+    validate_options(opts)?;
+    Ok(run_loop(
+        machine,
+        workload,
+        original,
+        initial,
+        opts,
+        Some(journal),
+        resume,
+    ))
+}
+
+fn run_loop(
+    machine: &mut Machine,
+    workload: &mut dyn ServiceWorkload,
+    original: &Program,
+    initial: DeployedBuild,
+    opts: &SupervisorOptions,
+    mut journal: Option<&mut Journal>,
+    resume: Option<ResumeState>,
+) -> SuperviseExit {
     let mut cur = initial;
     let mut estimator = OnlineStalenessEstimator::new(opts.estimator);
     let mut rng = SplitMix64::new(opts.seed ^ 0x5e1f_4ea1);
@@ -529,15 +762,102 @@ pub fn supervise(
     };
 
     let mut pending: VecDeque<u64> = VecDeque::new();
-    let mut next_job: u64 = 0;
     let mut window: VecDeque<u64> = VecDeque::new();
-    let mut scav_budget = opts.scavengers;
+    // Volatile loop state; durable pieces come back through `resume`.
+    // The clean-probation streak is *always* fresh: recovery never
+    // credits pre-crash clean epochs toward re-admission.
+    let start_epoch = resume.map_or(0, |r| r.epoch);
+    let mut next_job: u64 = resume.map_or(0, |r| r.next_job);
+    let mut scav_budget = resume.map_or(opts.scavengers, |r| r.scav_budget);
     let mut clean_streak: u64 = 0;
-    let mut failures: u32 = 0;
-    let mut breaker = BreakerState::Closed;
+    let mut failures: u32 = resume.map_or(0, |r| r.failures);
+    let mut breaker = resume.map_or(BreakerState::Closed, |r| r.breaker);
     let mut last_swap: Option<u64> = None;
+    report.scav_budget_final = scav_budget;
 
-    for epoch in 0..opts.epochs {
+    // Seals the report and returns the crashed exit; the journal has
+    // already been given its crash semantics by the caller arm.
+    macro_rules! crashed {
+        ($point:expr, $epoch:expr) => {{
+            report.final_rung = cur.rung;
+            report.breaker = breaker;
+            report.rebuild_failures = failures;
+            report.scav_budget_final = scav_budget;
+            report.last_swap_epoch = last_swap;
+            return SuperviseExit::Crashed {
+                point: $point,
+                epoch: $epoch,
+                report,
+            };
+        }};
+    }
+
+    // Consults the crash channel at a non-append loop stage (journaled
+    // mode only) and, when it fires, applies crash semantics to the
+    // store and exits.
+    macro_rules! crash_point {
+        ($code:expr, $point:expr, $epoch:expr) => {
+            if journal.is_some()
+                && machine
+                    .faults
+                    .as_mut()
+                    .is_some_and(|f| f.crash_point($code))
+            {
+                if let Some(j) = journal.as_deref_mut() {
+                    j.crash(machine.faults.as_mut());
+                }
+                crashed!($point, $epoch)
+            }
+        };
+    }
+
+    // Write-ahead append: consults the crash channel *inside* the
+    // append, so a firing crash leaves at most a torn prefix of this
+    // record.
+    macro_rules! jappend {
+        ($rec:expr, $epoch:expr) => {
+            if let Some(j) = journal.as_deref_mut() {
+                let rec = $rec;
+                if machine
+                    .faults
+                    .as_mut()
+                    .is_some_and(|f| f.crash_point(CP_MID_APPEND))
+                {
+                    j.crash_during_append(&rec, machine.faults.as_mut());
+                    crashed!(CrashPoint::MidJournalAppend, $epoch)
+                }
+                j.append(&rec, machine.faults.as_mut());
+            }
+        };
+    }
+
+    // Fresh journaled runs persist the initial deployment before the
+    // first epoch: the artifact atomically, then the deploy record.
+    if journal.is_some() && resume.is_none() {
+        let fp = cur.prog.fingerprint();
+        if let Some(j) = journal.as_deref_mut() {
+            j.store_build(
+                fp,
+                StoredBuild {
+                    prog: cur.prog.clone(),
+                    origin: cur.origin.clone(),
+                    rung: cur.rung,
+                    profile: cur.profile.clone(),
+                },
+            );
+        }
+        jappend!(
+            JournalRecord::Deploy {
+                epoch: start_epoch,
+                rung: cur.rung,
+                fingerprint: fp,
+            },
+            start_epoch
+        );
+    }
+
+    for epoch in start_epoch..opts.epochs {
+        jappend!(JournalRecord::EpochAdvance { epoch, next_job }, epoch);
         // --- Admission: arrivals enqueue; supervised runs shed the
         // backlog beyond the queue bound (newest first — they would wait
         // longest anyway).
@@ -662,11 +982,48 @@ pub fn supervise(
                 ("retained_samples", Ev::U(estimator.retained())),
             ];
             report.rebuilds += 1;
-            match attempt_rebuild(machine, workload, original, opts) {
+            crash_point!(CP_MID_REBUILD, CrashPoint::MidRebuild, epoch);
+            match attempt_rebuild(machine, workload, original, opts, journal.is_some()) {
+                Rebuild::Crashed => {
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.crash(machine.faults.as_mut());
+                    }
+                    crashed!(CrashPoint::BetweenGates, epoch)
+                }
                 Rebuild::Swapped(b) => {
-                    cur = *b;
+                    let b = *b;
+                    let fp = b.prog.fingerprint();
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.store_build(
+                            fp,
+                            StoredBuild {
+                                prog: b.prog.clone(),
+                                origin: b.origin.clone(),
+                                rung: b.rung,
+                                profile: b.profile.clone(),
+                            },
+                        );
+                    }
+                    jappend!(
+                        JournalRecord::Deploy {
+                            epoch,
+                            rung: b.rung,
+                            fingerprint: fp,
+                        },
+                        epoch
+                    );
+                    crash_point!(CP_MID_SWAP, CrashPoint::MidSwap, epoch);
+                    cur = b;
                     failures = 0;
                     breaker = BreakerState::Closed;
+                    jappend!(
+                        JournalRecord::Breaker {
+                            epoch,
+                            state: breaker,
+                            failures,
+                        },
+                        epoch
+                    );
                     last_swap = Some(epoch);
                     report.swaps += 1;
                     estimator.reset();
@@ -682,11 +1039,40 @@ pub fn supervise(
                 Rebuild::Failed { reason, fallback } => {
                     failures += 1;
                     if failures >= opts.max_rebuild_failures {
-                        breaker = BreakerState::Open;
                         let fb = fallback
                             .map(|b| *b)
                             .unwrap_or_else(|| fallback_build(original, machine, opts));
+                        let fp = fb.prog.fingerprint();
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.store_build(
+                                fp,
+                                StoredBuild {
+                                    prog: fb.prog.clone(),
+                                    origin: fb.origin.clone(),
+                                    rung: fb.rung,
+                                    profile: fb.profile.clone(),
+                                },
+                            );
+                        }
+                        jappend!(
+                            JournalRecord::Deploy {
+                                epoch,
+                                rung: fb.rung,
+                                fingerprint: fp,
+                            },
+                            epoch
+                        );
+                        crash_point!(CP_MID_SWAP, CrashPoint::MidSwap, epoch);
+                        breaker = BreakerState::Open;
                         cur = fb;
+                        jappend!(
+                            JournalRecord::Breaker {
+                                epoch,
+                                state: breaker,
+                                failures,
+                            },
+                            epoch
+                        );
                         last_swap = Some(epoch);
                         report.swaps += 1;
                         estimator.reset();
@@ -707,6 +1093,14 @@ pub fn supervise(
                         let jitter = rng.next_below(opts.backoff_base_epochs + 1);
                         let until_epoch = epoch + 1 + delay + jitter;
                         breaker = BreakerState::Backoff { until_epoch };
+                        jappend!(
+                            JournalRecord::Breaker {
+                                epoch,
+                                state: breaker,
+                                failures,
+                            },
+                            epoch
+                        );
                         report.incidents.push(Incident {
                             epoch,
                             trigger,
@@ -728,6 +1122,14 @@ pub fn supervise(
             scav_budget = to;
             clean_streak = 0;
             window.clear();
+            jappend!(
+                JournalRecord::ScavBudget {
+                    epoch,
+                    budget: scav_budget as u64,
+                    clean_streak,
+                },
+                epoch
+            );
             report.incidents.push(Incident {
                 epoch,
                 trigger: Trigger::SloViolation,
@@ -745,6 +1147,14 @@ pub fn supervise(
             if clean_streak >= opts.probation_epochs {
                 scav_budget += 1;
                 clean_streak = 0;
+                jappend!(
+                    JournalRecord::ScavBudget {
+                        epoch,
+                        budget: scav_budget as u64,
+                        clean_streak,
+                    },
+                    epoch
+                );
                 report.incidents.push(Incident {
                     epoch,
                     trigger: Trigger::ProbationElapsed,
@@ -761,12 +1171,18 @@ pub fn supervise(
         }
     }
 
+    // Clean shutdown: anything the partial-flush channel held back
+    // reaches the durable image, so a clean journal projects exactly the
+    // live final state (the chaos engine's state-equality oracle).
+    if let Some(j) = journal {
+        j.flush();
+    }
     report.final_rung = cur.rung;
     report.breaker = breaker;
     report.rebuild_failures = failures;
     report.scav_budget_final = scav_budget;
     report.last_swap_epoch = last_swap;
-    report
+    SuperviseExit::Completed(report)
 }
 
 /// One rebuild attempt: ladder, fault hook, swap-time lint gate.
@@ -775,6 +1191,7 @@ fn attempt_rebuild(
     workload: &mut dyn ServiceWorkload,
     original: &Program,
     opts: &SupervisorOptions,
+    journaled: bool,
 ) -> Rebuild {
     let b = pgo_pipeline_degrading(
         machine,
@@ -802,6 +1219,14 @@ fn attempt_rebuild(
             reason: format!("swap-time lint gate: {e}"),
             fallback: None,
         };
+    }
+    if journaled
+        && machine
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.crash_point(CP_BETWEEN_GATES))
+    {
+        return Rebuild::Crashed;
     }
     // Beyond the lint gate: prove the deployed image equivalent to the
     // original it claims to instrument before the epoch-boundary swap.
@@ -845,10 +1270,184 @@ fn fallback_build(
     }
 }
 
+/// Configuration for [`recover`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecoverOptions {
+    /// Re-run the lint + symbolic-equivalence gates on the recovered
+    /// build before it serves a single request. `false` is a **test
+    /// hook** that models a buggy recovery path — the chaos campaign
+    /// engine exists to prove such a recovery gets caught.
+    pub revalidate: bool,
+}
+
+impl Default for RecoverOptions {
+    fn default() -> Self {
+        RecoverOptions { revalidate: true }
+    }
+}
+
+/// What [`recover`] reconstructed.
+#[derive(Clone, Debug)]
+pub struct Recovery {
+    /// The build to serve with (re-validated, or the ladder fallback).
+    pub build: DeployedBuild,
+    /// The durable state to resume the loop from.
+    pub resume: ResumeState,
+    /// Recovery decisions, as incidents — concatenate with the segment
+    /// reports' logs so the replay-determinism hash spans restarts.
+    pub incidents: Vec<Incident>,
+    /// Journal records replayed.
+    pub replayed: u64,
+    /// True when a torn tail was detected and truncated.
+    pub truncated: bool,
+    /// True when the recorded deployment could not be trusted and the
+    /// fallback rung was deployed instead.
+    pub degraded: bool,
+}
+
+/// Crash recovery: repairs and replays the journal, reconstructs
+/// breaker/epoch/rung state, re-validates the recovered build through
+/// the same lint + symbolic-equivalence gates a hot swap passes, and
+/// falls down the degradation ladder when that re-validation fails.
+/// Never serves an unverified build — that is the contract the chaos
+/// oracles check.
+pub fn recover(
+    journal: &mut Journal,
+    original: &Program,
+    machine: &Machine,
+    opts: &SupervisorOptions,
+    ropts: &RecoverOptions,
+) -> Result<Recovery, SupervisorConfigError> {
+    validate_options(opts)?;
+    let rep = journal.repair();
+    let st = project(&rep.records);
+    let resume = ResumeState {
+        epoch: st.epoch.map_or(0, |e| e + 1),
+        next_job: st.next_job,
+        breaker: st.breaker,
+        failures: st.failures,
+        scav_budget: st
+            .scav_budget
+            .map_or(opts.scavengers, |b| (b as usize).min(opts.scavengers)),
+    };
+    let replayed = rep.records.len() as u64;
+    let truncated = rep.torn_tail;
+
+    // Resolve the recorded deployment to a concrete build, then earn
+    // back trust in it: the artifact must match its fingerprint and
+    // re-pass the swap-time gates. Anything less falls down the ladder.
+    let mut gate_failed = false;
+    let recovered: Option<DeployedBuild> = match st.deploy {
+        None => None,
+        Some((fp, rung, _epoch)) => match journal.get_build(fp) {
+            None => None,
+            Some(sb) => {
+                let build = DeployedBuild {
+                    prog: sb.prog.clone(),
+                    origin: sb.origin.clone(),
+                    rung: sb.rung,
+                    profile: sb.profile.clone(),
+                };
+                if !ropts.revalidate {
+                    Some(build)
+                } else if build.rung != rung || build.prog.fingerprint() != fp {
+                    gate_failed = true;
+                    None
+                } else if build.rung == Rung::Uninstrumented {
+                    // Nothing was rewritten; the artifact must *be* the
+                    // original.
+                    if build.prog.fingerprint() == original.fingerprint() {
+                        Some(build)
+                    } else {
+                        gate_failed = true;
+                        None
+                    }
+                } else {
+                    let lint_ok =
+                        lint_gate(&build.prog, &build.origin, &opts.degrade.pipeline.lint).is_ok();
+                    let verify_ok = !opts.degrade.pipeline.verify
+                        || verify_gate(
+                            original,
+                            &build.prog,
+                            &build.origin,
+                            &opts.degrade.pipeline.lint,
+                        )
+                        .is_ok();
+                    if lint_ok && verify_ok {
+                        Some(build)
+                    } else {
+                        gate_failed = true;
+                        None
+                    }
+                }
+            }
+        },
+    };
+
+    let degraded = recovered.is_none();
+    let build = recovered.unwrap_or_else(|| fallback_build(original, machine, opts));
+    if degraded {
+        // A degraded recovery is itself a deployment decision: persist
+        // the fallback (artifact first, then the write-ahead record) so
+        // the durable image never keeps pointing at a build that failed
+        // re-validation. Recovery runs before serving, so the append is
+        // synchronous (no fault injector).
+        let fp = build.prog.fingerprint();
+        journal.store_build(
+            fp,
+            StoredBuild {
+                prog: build.prog.clone(),
+                origin: build.origin.clone(),
+                rung: build.rung,
+                profile: build.profile.clone(),
+            },
+        );
+        journal.append(
+            &JournalRecord::Deploy {
+                epoch: resume.epoch,
+                rung: build.rung,
+                fingerprint: fp,
+            },
+            None,
+        );
+    }
+    let action = if degraded {
+        Action::RecoveryDegraded { rung: build.rung }
+    } else {
+        Action::Recovered {
+            rung: build.rung,
+            replayed,
+            truncated,
+        }
+    };
+    let incidents = vec![Incident {
+        epoch: resume.epoch,
+        trigger: Trigger::CrashRecovery,
+        evidence: vec![
+            ("replayed", Ev::U(replayed)),
+            ("truncated", Ev::U(u64::from(truncated))),
+            ("artifact_found", Ev::U(u64::from(!degraded || gate_failed))),
+            ("gate_failed", Ev::U(u64::from(gate_failed))),
+            ("failures", Ev::U(u64::from(resume.failures))),
+        ],
+        action,
+        outcome: Outcome::Deployed { rung: build.rung },
+    }];
+    Ok(Recovery {
+        build,
+        resume,
+        incidents,
+        replayed,
+        truncated,
+        degraded,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dualmode::WatchdogOptions;
+    use crate::journal::Journal;
     use reach_profile::Periods;
     use reach_sim::{AluOp, Cond, Inst, MachineConfig, ProgramBuilder, Reg};
     use reach_workloads::{build_zipf_kv, AddrAlloc, ZipfKvParams};
@@ -1010,7 +1609,7 @@ mod tests {
         let orig = svc.prog.clone();
         let init = initial_build(&mut m, &svc, &orig);
 
-        let r = supervise(&mut m, &mut svc, &orig, init, &drift_opts());
+        let r = supervise(&mut m, &mut svc, &orig, init, &drift_opts()).unwrap();
         assert_eq!(r.swaps, 1, "{}", r.incident_log_json());
         assert_eq!(r.final_rung, Rung::FullPgo);
         assert_eq!(r.breaker, BreakerState::Closed);
@@ -1054,7 +1653,7 @@ mod tests {
             supervise: false,
             ..drift_opts()
         };
-        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts).unwrap();
         assert!(r.incidents.is_empty());
         assert_eq!(r.swaps, 0);
         assert_eq!(r.rebuilds, 0);
@@ -1086,7 +1685,7 @@ mod tests {
             },
             ..drift_opts()
         };
-        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts).unwrap();
         assert_eq!(r.breaker, BreakerState::Open, "{}", r.incident_log_json());
         assert_eq!(r.final_rung, Rung::ScavengerOnly);
         assert_eq!(r.rebuilds, 2);
@@ -1126,7 +1725,7 @@ mod tests {
             build_mutator: Some(clobber_yield_saves),
             ..drift_opts()
         };
-        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts).unwrap();
         // Every rebuild reaches FullPgo but the corrupted binary fails
         // the swap-time gate; the breaker ends up deploying a *fresh*
         // scavenger-only build of the original.
@@ -1176,7 +1775,7 @@ mod tests {
             build_mutator: Some(skew_prefetched_load),
             ..drift_opts()
         };
-        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts).unwrap();
         assert!(
             r.incidents
                 .iter()
@@ -1224,7 +1823,7 @@ mod tests {
         let init = initial_build(&mut m, &svc, &orig);
 
         let opts = overload_opts();
-        let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+        let r = supervise(&mut m, &mut svc, &orig, init, &opts).unwrap();
         let sheds = r
             .incidents
             .iter()
@@ -1261,7 +1860,8 @@ mod tests {
                 supervise: false,
                 ..overload_opts()
             },
-        );
+        )
+        .unwrap();
         assert!(base.incidents.is_empty());
         assert_eq!(base.scav_budget_final, opts.scavengers);
         // Across the burst the supervised pool sheds the runaways (and
@@ -1286,6 +1886,178 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+        let mut check = |opts: SupervisorOptions, want: SupervisorConfigError| {
+            let got = supervise(&mut m, &mut svc, &orig, init.clone(), &opts)
+                .expect_err("degenerate config accepted");
+            assert_eq!(got, want);
+            // recover() applies the same validation.
+            let mut j = Journal::new();
+            let got = recover(&mut j, &orig, &m, &opts, &RecoverOptions::default())
+                .expect_err("degenerate config accepted by recover");
+            assert_eq!(got, want);
+        };
+        check(
+            SupervisorOptions {
+                max_rebuild_failures: 0,
+                ..drift_opts()
+            },
+            SupervisorConfigError::ZeroMaxRebuildFailures,
+        );
+        check(
+            SupervisorOptions {
+                slo_p99_cycles: 1_000,
+                slo_window: 0,
+                ..drift_opts()
+            },
+            SupervisorConfigError::ZeroSloWindow,
+        );
+        check(
+            SupervisorOptions {
+                estimator: OnlineEstimatorOptions {
+                    window: 0,
+                    min_samples: 1,
+                },
+                ..drift_opts()
+            },
+            SupervisorConfigError::ZeroEstimatorWindow,
+        );
+        check(
+            SupervisorOptions {
+                scavengers: 1,
+                min_scavengers: 2,
+                ..drift_opts()
+            },
+            SupervisorConfigError::MinScavengersAbovePool,
+        );
+        // A disarmed SLO guard tolerates the zero-width window (it is
+        // never consulted).
+        let opts = SupervisorOptions {
+            slo_p99_cycles: u64::MAX,
+            slo_window: 0,
+            epochs: 1,
+            ..drift_opts()
+        };
+        supervise(&mut m, &mut svc, &orig, init.clone(), &opts).unwrap();
+    }
+
+    #[test]
+    fn journaled_run_crashes_then_recovers_and_resumes_to_completion() {
+        use reach_sim::{FaultInjector, FaultPlan};
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+        let opts = drift_opts();
+
+        let mut journal = Journal::new();
+        // Crash at the 5th crash-point consultation (an epoch-advance
+        // append, a few epochs in).
+        m.faults = Some(FaultInjector::new(FaultPlan::none(1).with_crash_at(5)));
+        let exit = supervise_journaled(
+            &mut m,
+            &mut svc,
+            &orig,
+            init.clone(),
+            &opts,
+            &mut journal,
+            None,
+        )
+        .unwrap();
+        let SuperviseExit::Crashed { epoch, .. } = exit else {
+            panic!("crash channel did not fire");
+        };
+
+        let rec = recover(&mut journal, &orig, &m, &opts, &RecoverOptions::default()).unwrap();
+        assert!(!rec.degraded, "{:?}", rec.incidents);
+        assert_eq!(rec.build.rung, Rung::FullPgo);
+        assert!(rec.resume.epoch <= epoch + 1);
+        assert!(matches!(rec.incidents[0].action, Action::Recovered { .. }));
+
+        m.faults = None;
+        let exit = supervise_journaled(
+            &mut m,
+            &mut svc,
+            &orig,
+            rec.build,
+            &opts,
+            &mut journal,
+            Some(rec.resume),
+        )
+        .unwrap();
+        let SuperviseExit::Completed(r) = exit else {
+            panic!("resumed segment crashed without a fault plan");
+        };
+        // The journal's projection agrees with the live final state.
+        let st = crate::journal::project(&journal.replay().records);
+        assert_eq!(st.epoch, Some(opts.epochs - 1));
+        let (fp, rung, _) = st.deploy.unwrap();
+        assert_eq!(rung, r.final_rung);
+        assert!(journal.get_build(fp).is_some());
+        assert_eq!(st.breaker, r.breaker);
+    }
+
+    #[test]
+    fn recovery_degrades_when_the_recovered_artifact_fails_the_gates() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+        let opts = drift_opts();
+
+        let mut journal = Journal::new();
+        use reach_sim::{FaultInjector, FaultPlan};
+        m.faults = Some(FaultInjector::new(FaultPlan::none(1).with_crash_at(4)));
+        let exit =
+            supervise_journaled(&mut m, &mut svc, &orig, init, &opts, &mut journal, None).unwrap();
+        assert!(matches!(exit, SuperviseExit::Crashed { .. }));
+        m.faults = None;
+
+        // Bit-rot the deployed artifact: recovery's gates must refuse it
+        // and fall down the ladder.
+        let st = crate::journal::project(&journal.replay().records);
+        let (fp, _, _) = st.deploy.expect("initial deploy journaled");
+        assert!(journal.mutate_build(fp, |b| {
+            for inst in &mut b.prog.insts {
+                if let Inst::Yield { save_regs, .. } = inst {
+                    *save_regs = Some(0);
+                }
+            }
+        }));
+        // Snapshot before recovering: a degraded recovery re-points the
+        // journal at its fallback deployment.
+        let mut j2 = journal.clone();
+        let rec = recover(&mut journal, &orig, &m, &opts, &RecoverOptions::default()).unwrap();
+        assert!(rec.degraded);
+        assert_ne!(rec.build.rung, Rung::FullPgo);
+        assert!(matches!(
+            rec.incidents[0].action,
+            Action::RecoveryDegraded { .. }
+        ));
+        // A degraded recovery is durable: the journal now points at the
+        // fallback, and that record survives its own replay.
+        let st2 = crate::journal::project(&journal.replay().records);
+        let (fp2, rung2, _) = st2.deploy.expect("fallback deploy journaled");
+        assert_eq!(rung2, rec.build.rung);
+        assert!(journal.get_build(fp2).is_some());
+        // The test hook that skips re-validation would have served it.
+        let broken = recover(
+            &mut j2,
+            &orig,
+            &m,
+            &opts,
+            &RecoverOptions { revalidate: false },
+        )
+        .unwrap();
+        assert!(!broken.degraded);
+        assert_eq!(broken.build.rung, Rung::FullPgo);
+    }
+
+    #[test]
     fn replay_produces_byte_identical_incident_log() {
         let run = || {
             let mut m = Machine::new(MachineConfig::default());
@@ -1302,7 +2074,7 @@ mod tests {
                 },
                 ..drift_opts()
             };
-            supervise(&mut m, &mut svc, &orig, init, &opts)
+            supervise(&mut m, &mut svc, &orig, init, &opts).unwrap()
         };
         let a = run();
         let b = run();

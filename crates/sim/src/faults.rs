@@ -54,6 +54,20 @@ pub struct FaultPlan {
     /// instruction boundary) every `n` instructions attempted on the
     /// machine, across all contexts.
     pub trap_every: Option<u64>,
+    /// Crash the process at the `n`-th crash-point consultation
+    /// (1-based). Crash points are placed by the supervisor at every
+    /// loop stage (mid-rebuild, between gates, mid-swap, mid-journal
+    /// append); counting consultations makes the crash instant a pure
+    /// function of the plan, so a schedule replays bit-for-bit.
+    pub crash_at: Option<u64>,
+    /// Probability that the durable journal's tail record is torn
+    /// (truncated mid-record) when a crash lands, instead of surviving
+    /// intact — the classic lying-`fsync` torn write.
+    pub torn_write: f64,
+    /// Probability that a journal append stays in the (volatile) write
+    /// buffer instead of reaching the durable image immediately; a later
+    /// append or a clean shutdown flushes it, a crash loses it.
+    pub partial_flush: f64,
 }
 
 impl FaultPlan {
@@ -69,6 +83,9 @@ impl FaultPlan {
             prefetch_corrupt: 0.0,
             prefetch_corrupt_lines: 16,
             trap_every: None,
+            crash_at: None,
+            torn_write: 0.0,
+            partial_flush: 0.0,
         }
     }
 
@@ -111,6 +128,24 @@ impl FaultPlan {
         self
     }
 
+    /// Arms a crash at the `n`-th crash-point consultation (1-based).
+    pub fn with_crash_at(mut self, n: u64) -> Self {
+        self.crash_at = Some(n);
+        self
+    }
+
+    /// Arms torn tail writes with probability `p` per crash.
+    pub fn with_torn_write(mut self, p: f64) -> Self {
+        self.torn_write = p;
+        self
+    }
+
+    /// Arms partial journal flushes with probability `p` per append.
+    pub fn with_partial_flush(mut self, p: f64) -> Self {
+        self.partial_flush = p;
+        self
+    }
+
     /// True if no channel is armed.
     pub fn is_none(&self) -> bool {
         self.pebs_drop == 0.0
@@ -119,6 +154,9 @@ impl FaultPlan {
             && self.lbr_drop == 0.0
             && self.prefetch_corrupt == 0.0
             && self.trap_every.is_none()
+            && self.crash_at.is_none()
+            && self.torn_write == 0.0
+            && self.partial_flush == 0.0
     }
 }
 
@@ -137,6 +175,12 @@ pub struct FaultLog {
     pub prefetches_corrupted: u64,
     /// Traps delivered at instruction boundaries.
     pub traps_injected: u64,
+    /// Crashes fired at a crash point.
+    pub crashes_injected: u64,
+    /// Journal tail records torn at a crash.
+    pub journal_torn_writes: u64,
+    /// Journal appends held back in the volatile write buffer.
+    pub journal_partial_flushes: u64,
     /// Rolling hash of every fault decision in order.
     pub schedule_hash: u64,
 }
@@ -153,12 +197,39 @@ impl FaultLog {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         self.schedule_hash = z ^ (z >> 31);
     }
+
+    /// Canonical one-line JSON rendering: every per-channel count in
+    /// declaration order plus the schedule hash. Hand-rolled (all fields
+    /// are `u64`) so `reach-sim` needs no serializer dependency.
+    pub fn to_json_string(&self) -> String {
+        format!(
+            concat!(
+                "{{\"pebs_events_dropped\":{},\"pebs_pcs_corrupted\":{},",
+                "\"lbr_records_dropped\":{},\"prefetches_corrupted\":{},",
+                "\"traps_injected\":{},\"crashes_injected\":{},",
+                "\"journal_torn_writes\":{},\"journal_partial_flushes\":{},",
+                "\"schedule_hash\":{}}}"
+            ),
+            self.pebs_events_dropped,
+            self.pebs_pcs_corrupted,
+            self.lbr_records_dropped,
+            self.prefetches_corrupted,
+            self.traps_injected,
+            self.crashes_injected,
+            self.journal_torn_writes,
+            self.journal_partial_flushes,
+            self.schedule_hash
+        )
+    }
 }
 
 const CH_PEBS: u64 = 1;
 const CH_LBR: u64 = 2;
 const CH_PREFETCH: u64 = 3;
 const CH_TRAP: u64 = 4;
+const CH_CRASH: u64 = 5;
+const CH_TORN: u64 = 6;
+const CH_FLUSH: u64 = 7;
 
 /// The runtime half of a [`FaultPlan`]: owns the per-channel decision
 /// streams and the [`FaultLog`]. Install on a machine via
@@ -170,27 +241,40 @@ pub struct FaultInjector {
     rng_pebs: SplitMix64,
     rng_lbr: SplitMix64,
     rng_prefetch: SplitMix64,
+    rng_torn: SplitMix64,
+    rng_flush: SplitMix64,
     insts_attempted: u64,
     next_trap_at: Option<u64>,
+    crash_points_seen: u64,
+    crash_armed: bool,
     /// What has been injected so far.
     pub log: FaultLog,
 }
 
 impl FaultInjector {
     /// Builds the injector for `plan`. Each channel gets an independent
-    /// SplitMix64 stream derived from the plan seed.
+    /// SplitMix64 stream derived from the plan seed. The journal streams
+    /// are drawn *after* the three PR 2 streams, so arming the crash or
+    /// torn-write channels leaves the PEBS/LBR/prefetch schedules
+    /// byte-identical.
     pub fn new(plan: FaultPlan) -> Self {
         let mut root = SplitMix64::new(plan.seed);
         let rng_pebs = SplitMix64::new(root.next_u64());
         let rng_lbr = SplitMix64::new(root.next_u64());
         let rng_prefetch = SplitMix64::new(root.next_u64());
+        let rng_torn = SplitMix64::new(root.next_u64());
+        let rng_flush = SplitMix64::new(root.next_u64());
         FaultInjector {
             next_trap_at: plan.trap_every,
+            crash_armed: plan.crash_at.is_some(),
             plan,
             rng_pebs,
             rng_lbr,
             rng_prefetch,
+            rng_torn,
+            rng_flush,
             insts_attempted: 0,
+            crash_points_seen: 0,
             log: FaultLog::default(),
         }
     }
@@ -246,6 +330,51 @@ impl FaultInjector {
         ea
     }
 
+    /// Crash channel: consulted at every supervisor crash point, tagged
+    /// with a stable `code` for the point kind. Fires exactly once, at
+    /// the plan's `crash_at`-th consultation, then disarms.
+    pub fn crash_point(&mut self, code: u64) -> bool {
+        self.crash_points_seen += 1;
+        if self.crash_armed && Some(self.crash_points_seen) == self.plan.crash_at {
+            self.crash_armed = false;
+            self.log.crashes_injected += 1;
+            self.log.mix(CH_CRASH, (self.crash_points_seen << 8) | code);
+            return true;
+        }
+        false
+    }
+
+    /// Crash-point consultations so far — how many distinct crash
+    /// instants a schedule sweep over this run can target.
+    pub fn crash_points_seen(&self) -> u64 {
+        self.crash_points_seen
+    }
+
+    /// Torn-write channel: at crash time, decides whether a durable
+    /// record of `len` bytes is torn and, if so, how many bytes of it
+    /// survive (`1..len`).
+    pub fn torn_cut(&mut self, len: usize) -> Option<usize> {
+        if self.plan.torn_write > 0.0 && len > 1 && self.rng_torn.next_f64() < self.plan.torn_write
+        {
+            let cut = 1 + self.rng_torn.next_below(len as u64 - 1) as usize;
+            self.log.journal_torn_writes += 1;
+            self.log.mix(CH_TORN, cut as u64);
+            return Some(cut);
+        }
+        None
+    }
+
+    /// Partial-flush channel: true when a journal append should stay in
+    /// the volatile write buffer instead of reaching the durable image.
+    pub fn partial_flush(&mut self) -> bool {
+        if self.plan.partial_flush > 0.0 && self.rng_flush.next_f64() < self.plan.partial_flush {
+            self.log.journal_partial_flushes += 1;
+            self.log.mix(CH_FLUSH, self.log.journal_partial_flushes);
+            return true;
+        }
+        false
+    }
+
     /// Trap channel: called once per attempted instruction; true when a
     /// trap must be delivered at this boundary.
     pub fn should_trap(&mut self) -> bool {
@@ -274,7 +403,11 @@ mod tests {
             assert!(!fi.drop_lbr(pc, pc + 1));
             assert_eq!(fi.corrupt_prefetch(pc as u64 * 64), pc as u64 * 64);
             assert!(!fi.should_trap());
+            assert!(!fi.crash_point(1));
+            assert_eq!(fi.torn_cut(64), None);
+            assert!(!fi.partial_flush());
         }
+        assert_eq!(fi.crash_points_seen(), 100);
         assert_eq!(fi.log, FaultLog::default());
     }
 
@@ -321,6 +454,87 @@ mod tests {
             b.drop_lbr(pc, 0);
             assert_eq!(a.corrupt_pebs(pc), b.corrupt_pebs(pc));
         }
+    }
+
+    #[test]
+    fn journal_channels_do_not_perturb_existing_streams() {
+        // Arming crash + torn-write + partial-flush must leave the PR 2
+        // channel schedules byte-identical.
+        let base = FaultPlan::none(11)
+            .with_pebs_drop(0.4)
+            .with_lbr_drop(0.4)
+            .with_prefetch_corrupt(0.4, 8);
+        let armed = base
+            .with_crash_at(5)
+            .with_torn_write(0.7)
+            .with_partial_flush(0.7);
+        let mut a = FaultInjector::new(base);
+        let mut b = FaultInjector::new(armed);
+        for pc in 0..200 {
+            // Interleave journal draws in b only.
+            b.crash_point(3);
+            b.torn_cut(48);
+            b.partial_flush();
+            assert_eq!(a.corrupt_pebs(pc), b.corrupt_pebs(pc));
+            assert_eq!(a.drop_lbr(pc, 0), b.drop_lbr(pc, 0));
+            assert_eq!(
+                a.corrupt_prefetch(pc as u64 * 64),
+                b.corrupt_prefetch(pc as u64 * 64)
+            );
+        }
+    }
+
+    #[test]
+    fn crash_fires_exactly_once_at_the_named_consultation() {
+        let mut fi = FaultInjector::new(FaultPlan::none(2).with_crash_at(4));
+        let fired: Vec<u64> = (1..=10u64).filter(|_| fi.crash_point(1)).collect();
+        assert_eq!(fi.crash_points_seen(), 10);
+        assert_eq!(fi.log.crashes_injected, 1);
+        assert_eq!(fired.len(), 1);
+        // Re-counting from a fresh injector reproduces the instant.
+        let mut fj = FaultInjector::new(FaultPlan::none(2).with_crash_at(4));
+        let mut at = 0;
+        for i in 1..=10u64 {
+            if fj.crash_point(1) {
+                at = i;
+            }
+        }
+        assert_eq!(at, 4);
+    }
+
+    #[test]
+    fn torn_cut_is_deterministic_and_in_range() {
+        let run = || {
+            let mut fi = FaultInjector::new(FaultPlan::none(9).with_torn_write(0.5));
+            (0..100).map(|_| fi.torn_cut(40)).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().any(Option::is_some));
+        assert!(a.iter().any(Option::is_none));
+        for cut in a.iter().flatten() {
+            assert!((1..40).contains(cut));
+        }
+    }
+
+    #[test]
+    fn fault_log_json_lists_every_channel() {
+        let mut fi = FaultInjector::new(
+            FaultPlan::none(5)
+                .with_torn_write(1.0)
+                .with_partial_flush(1.0)
+                .with_crash_at(1),
+        );
+        assert!(fi.crash_point(2));
+        fi.torn_cut(16);
+        fi.partial_flush();
+        let j = fi.log.to_json_string();
+        assert!(j.starts_with("{\"pebs_events_dropped\":0,"), "{j}");
+        assert!(j.contains("\"crashes_injected\":1"), "{j}");
+        assert!(j.contains("\"journal_torn_writes\":1"), "{j}");
+        assert!(j.contains("\"journal_partial_flushes\":1"), "{j}");
+        assert!(j.contains("\"schedule_hash\":"), "{j}");
+        assert_eq!(j.matches(':').count(), 9, "{j}");
     }
 
     #[test]

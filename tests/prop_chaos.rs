@@ -1,0 +1,199 @@
+//! Property tests: crash–restart recovery converges, and chaos
+//! schedules replay bit-for-bit.
+//!
+//! Over random generated programs (the `common` micro-IR generator) the
+//! supervised serving loop is crashed at *every* crash-point it
+//! consults, recovered, and resumed — and the final durable state must
+//! match what a never-crashed run journals. A second property reruns
+//! random fault schedules (crash × torn-write × the PR 2 channels) and
+//! demands the cross-restart incident hash, counters, and final journal
+//! projection come back byte-identical: the replay-determinism contract
+//! of `prop_supervisor.rs` extended over simulated process deaths.
+
+mod common;
+
+use common::{gen_program, machine_for, GenProgram, BASE, RB};
+use proptest::prelude::*;
+use reach_core::{
+    pgo_pipeline_degrading, random_schedule, run_schedule, supervise_journaled, ChaosOptions,
+    ChaosSchedule, ChaosWorld, DegradeOptions, DeployedBuild, Journal, ServiceWorkload,
+    SuperviseExit, SupervisorOptions,
+};
+use reach_profile::{OnlineEstimatorOptions, Periods};
+use reach_sim::{Context, FaultInjector, FaultPlan, SplitMix64};
+
+/// Short runs: enough epochs that crash points land across every loop
+/// stage, small enough that a per-crash-point sweep stays cheap.
+const EPOCHS: u64 = 4;
+
+/// Crash points to sweep per generated program (a clean run may consult
+/// more; the tail repeats the same stages).
+const SWEEP_CAP: u64 = 12;
+
+fn ctx(id: usize) -> Context {
+    let mut c = Context::new(id);
+    c.set_reg(RB, BASE);
+    c
+}
+
+/// Serves the generated program: every job is a fresh context over the
+/// shared scratch region (stores are deterministic, so replays agree).
+struct GenService {
+    next: usize,
+}
+
+impl ServiceWorkload for GenService {
+    fn arrivals(&mut self, _epoch: u64) -> usize {
+        1
+    }
+    fn primary_context(&mut self, _job: u64) -> Context {
+        self.next += 1;
+        ctx(1_000 + self.next)
+    }
+    fn scavenger_context(&mut self, _epoch: u64, _job: u64, _slot: usize) -> Context {
+        self.next += 1;
+        ctx(1_000 + self.next)
+    }
+    fn profiling_contexts(&mut self, attempt: u32) -> Vec<Context> {
+        vec![ctx(9_000 + attempt as usize)]
+    }
+}
+
+/// Profiling periods sized to micro programs (the defaults would starve
+/// the collector).
+fn degrade() -> DegradeOptions {
+    let mut d = DegradeOptions::default();
+    d.pipeline.collector.periods = Periods {
+        l2_miss: 3,
+        l3_miss: 3,
+        stall: 13,
+        retired: 7,
+    };
+    d
+}
+
+/// A quiet supervisor: random micro programs are not a drift scenario,
+/// so staleness can never trip and the loop is pure journaled serving —
+/// exactly the regime where crash placement is the only variable.
+fn opts() -> ChaosOptions {
+    ChaosOptions::new(SupervisorOptions {
+        epochs: EPOCHS,
+        service_per_epoch: 1,
+        scavengers: 1,
+        insitu_period: 31,
+        estimator: OnlineEstimatorOptions {
+            window: 256,
+            min_samples: 8,
+        },
+        staleness_threshold: 2.0,
+        seed: 77,
+        degrade: degrade(),
+        ..SupervisorOptions::default()
+    })
+}
+
+/// One fresh serving world for `g`: scratch region initialized, initial
+/// build from the degrading pipeline (whatever rung the random program
+/// earns).
+fn gen_world(g: &GenProgram) -> ChaosWorld {
+    let (mut m, _) = machine_for(g);
+    let built = pgo_pipeline_degrading(
+        &mut m,
+        &g.prog,
+        |a| vec![ctx(9_000 + a as usize)],
+        &degrade(),
+    );
+    ChaosWorld {
+        machine: m,
+        workload: Box::new(GenService { next: 0 }),
+        original: g.prog.clone(),
+        initial: DeployedBuild::from(built),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Crash at every consulted crash point, recover, resume: the run
+    /// completes with zero oracle violations and the final durable
+    /// journal projects to the never-crashed run's state. (When the
+    /// crash precedes the first durable deploy, recovery legitimately
+    /// redeploys the ladder fallback — the projection then differs in
+    /// the deployment but must still complete every epoch with the
+    /// breaker intact.)
+    #[test]
+    fn crash_at_every_point_recovers_to_the_never_crashed_state(g in gen_program()) {
+        let opts = opts();
+
+        // Discover how many crash points one clean run consults.
+        let consults = {
+            let mut world = gen_world(&g);
+            world.machine.faults = Some(FaultInjector::new(FaultPlan::none(1)));
+            let mut journal = Journal::new();
+            let exit = supervise_journaled(
+                &mut world.machine,
+                world.workload.as_mut(),
+                &world.original,
+                world.initial.clone(),
+                &opts.sup,
+                &mut journal,
+                None,
+            ).expect("validated config");
+            prop_assert!(matches!(exit, SuperviseExit::Completed(_)));
+            world.machine.faults.as_ref().expect("armed above").crash_points_seen()
+        };
+        prop_assert!(consults > 0, "journaled serving consults no crash points");
+
+        let mut factory = |_s: &ChaosSchedule| gen_world(&g);
+        let baseline = run_schedule(&mut factory, &ChaosSchedule::quiet(1), &opts)
+            .expect("validated config");
+        prop_assert_eq!(&baseline.violations, &Vec::<String>::new());
+        // Job numbering may shift by the crash's at-most-once window;
+        // everything else about the durable state must agree.
+        let mut want = baseline.final_state.clone().expect("clean run projects");
+        want.next_job = 0;
+
+        for at in 1..=consults.min(SWEEP_CAP) {
+            let mut s = ChaosSchedule::quiet(1);
+            s.crashes = vec![at];
+            let run = run_schedule(&mut factory, &s, &opts).expect("validated config");
+            prop_assert_eq!(&run.violations, &Vec::<String>::new(), "crash_at={}", at);
+            prop_assert_eq!(run.crashes, 1, "crash_at={} never fired", at);
+            prop_assert_eq!(run.segments, 2);
+            let mut got = run.final_state.clone().expect("completed run projects");
+            got.next_job = 0;
+            if run.recoveries_degraded == 0 {
+                prop_assert_eq!(got, want.clone(), "crash_at={}", at);
+            } else {
+                prop_assert_eq!(got.epoch, want.epoch, "crash_at={}", at);
+                prop_assert_eq!(got.breaker, want.breaker, "crash_at={}", at);
+                prop_assert!(got.deploy.is_some(), "crash_at={}: fallback not journaled", at);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed, same schedule, fresh worlds: the cross-restart
+    /// incident hash, every counter, and the final journal projection
+    /// replay byte-identically.
+    #[test]
+    fn same_seed_chaos_schedules_replay_bit_for_bit(g in gen_program(), seed in any::<u64>()) {
+        let opts = opts();
+        let schedule = random_schedule(&mut SplitMix64::new(seed));
+        let mut factory = |_s: &ChaosSchedule| gen_world(&g);
+        let a = run_schedule(&mut factory, &schedule, &opts).expect("validated config");
+        let b = run_schedule(&mut factory, &schedule, &opts).expect("validated config");
+        prop_assert_eq!(a.incident_hash, b.incident_hash);
+        prop_assert_eq!(a.violations, b.violations);
+        prop_assert_eq!(a.crashes, b.crashes);
+        prop_assert_eq!(a.segments, b.segments);
+        prop_assert_eq!(a.served, b.served);
+        prop_assert_eq!(a.torn_tails, b.torn_tails);
+        prop_assert_eq!(a.journal_records, b.journal_records);
+        prop_assert_eq!(a.journal_bytes, b.journal_bytes);
+        prop_assert_eq!(a.final_state, b.final_state);
+    }
+}

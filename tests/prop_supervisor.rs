@@ -11,8 +11,9 @@
 
 use proptest::prelude::*;
 use reach_core::{
-    pgo_pipeline_degrading, supervise, DegradeOptions, DeployedBuild, ServiceWorkload,
-    SupervisorOptions,
+    pgo_pipeline_degrading, recover, supervise, supervise_journaled, Action, DegradeOptions,
+    DeployedBuild, Journal, JournalRecord, RecoverOptions, ServiceWorkload, StoredBuild,
+    SuperviseExit, SupervisorOptions,
 };
 use reach_profile::{OnlineEstimatorOptions, Periods};
 use reach_sim::{Context, FaultInjector, FaultPlan, Machine, MachineConfig, Program};
@@ -191,7 +192,7 @@ fn observe(sc: Scenario, supervised: bool) -> Observation {
         supervise: supervised,
         ..SupervisorOptions::default()
     };
-    let r = supervise(&mut m, &mut svc, &orig, init, &opts);
+    let r = supervise(&mut m, &mut svc, &orig, init, &opts).expect("validated config");
     Observation {
         incident_log: r.incident_log_json(),
         incident_hash: r.incident_log_hash(),
@@ -239,4 +240,138 @@ proptest! {
         let b = observe(sc, false);
         prop_assert_eq!(a, b);
     }
+}
+
+/// A shed scavenger pool must serve its probation *after* a restart —
+/// recovery may not silently re-admit it, even when the pre-crash
+/// journal recorded a clean streak one epoch short of restoration.
+///
+/// The journal is hand-built to describe exactly that near-miss: budget
+/// shed 2 → 1 with `clean_streak: 3` durable, `probation_epochs: 4`.
+/// `recover` must resume with the shed budget (not the configured 2),
+/// and the resumed loop must restart the streak from zero, so the
+/// earliest legal `RestoreScavenger` lands at
+/// `resume.epoch + probation_epochs - 1`.
+#[test]
+fn recovery_never_readmits_a_shed_scavenger_early() {
+    let mut degrade = DegradeOptions::default();
+    degrade.pipeline.collector.periods = Periods {
+        l2_miss: 13,
+        l3_miss: 13,
+        stall: 13,
+        retired: 13,
+    };
+
+    let mut m = Machine::new(MachineConfig::default());
+    let mut svc = Service::new(&mut m, 0.0);
+    let orig = svc.prog.clone();
+    let init: DeployedBuild =
+        pgo_pipeline_degrading(&mut m, &orig, |a| svc.stale_profiling_contexts(a), &degrade).into();
+
+    let opts = SupervisorOptions {
+        epochs: 12,
+        service_per_epoch: 1,
+        scavengers: 2,
+        probation_epochs: 4,
+        insitu_period: 31,
+        estimator: OnlineEstimatorOptions {
+            window: 2048,
+            min_samples: 8,
+        },
+        // Quiet run: the workload is healthy, so the resumed loop's only
+        // discretionary action is the probation restore under test.
+        staleness_threshold: 2.0,
+        seed: 41,
+        degrade,
+        ..SupervisorOptions::default()
+    };
+
+    // The pre-crash history, written durably: deploy at epoch 0, a shed
+    // to budget 1 whose clean streak had reached 3 of the 4 probation
+    // epochs, last epoch served 3.
+    let fp = init.prog.fingerprint();
+    let mut journal = Journal::new();
+    journal.store_build(
+        fp,
+        StoredBuild {
+            prog: init.prog.clone(),
+            origin: init.origin.clone(),
+            rung: init.rung,
+            profile: init.profile.clone(),
+        },
+    );
+    journal.append(
+        &JournalRecord::Deploy {
+            epoch: 0,
+            rung: init.rung,
+            fingerprint: fp,
+        },
+        None,
+    );
+    journal.append(
+        &JournalRecord::EpochAdvance {
+            epoch: 0,
+            next_job: 0,
+        },
+        None,
+    );
+    journal.append(
+        &JournalRecord::ScavBudget {
+            epoch: 1,
+            budget: 1,
+            clean_streak: 3,
+        },
+        None,
+    );
+    journal.append(
+        &JournalRecord::EpochAdvance {
+            epoch: 3,
+            next_job: 3,
+        },
+        None,
+    );
+
+    let rec = recover(&mut journal, &orig, &m, &opts, &RecoverOptions::default())
+        .expect("validated config");
+    assert!(!rec.degraded, "healthy artifact must re-validate");
+    assert_eq!(rec.resume.epoch, 4, "resume after last durable epoch");
+    assert_eq!(
+        rec.resume.scav_budget, 1,
+        "the shed budget survives the restart"
+    );
+
+    let exit = supervise_journaled(
+        &mut m,
+        &mut svc,
+        &orig,
+        rec.build,
+        &opts,
+        &mut journal,
+        Some(rec.resume),
+    )
+    .expect("validated config");
+    let rep = match exit {
+        SuperviseExit::Completed(rep) => rep,
+        SuperviseExit::Crashed { .. } => panic!("no faults armed, run cannot crash"),
+    };
+
+    let restores: Vec<u64> = rep
+        .incidents
+        .iter()
+        .filter(|i| matches!(i.action, Action::RestoreScavenger { .. }))
+        .map(|i| i.epoch)
+        .collect();
+    assert!(
+        !restores.is_empty(),
+        "a healthy resumed run must eventually restore the pool"
+    );
+    let earliest_legal = rec.resume.epoch + opts.probation_epochs - 1;
+    for &e in &restores {
+        assert!(
+            e >= earliest_legal,
+            "pool restored at epoch {e}, before probation ends at {earliest_legal}: \
+             the journaled clean streak leaked across the restart"
+        );
+    }
+    assert_eq!(rep.scav_budget_final, 2, "pool fully restored by the end");
 }
