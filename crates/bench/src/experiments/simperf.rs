@@ -22,8 +22,19 @@
 //! The workload mix exercises the interpreter's distinct regimes:
 //! dependent cold loads (pointer chase — the memory fast path), hash
 //! probes over a DRAM-sized table (zipf), warm streaming loads (cache
-//! fast path), and a load-free ALU kernel (the fused Imm/Alu dispatch
-//! loop).
+//! fast path), a load-free ALU kernel, and a simulated-L1-resident tight
+//! pointer chase — the last two are *dispatch-bound*: almost no time in
+//! the simulated memory system, so they measure dispatch mechanism.
+//!
+//! Every cell runs the superblock engine and the per-instruction fused
+//! fast path **interleaved A/B, best of pairs**: each repetition times
+//! both engines back to back, so host-frequency drift hits both equally.
+//! The engines must produce byte-identical counters and clocks (asserted
+//! every rep — a free differential canary on top of `prop_fastpath`);
+//! `sim_ips` reports the default (superblock) engine, `fastpath_ips` the
+//! blocks-off engine, and `speedup_blocks` their ratio. Block-cache
+//! stats (`blocks_compiled`, `block_hit_rate`, `block_invalidations`)
+//! ride along report-only.
 
 use crate::experiment::{Cell, CellMetrics, Experiment, Tier};
 use crate::fresh;
@@ -48,13 +59,14 @@ use std::time::Instant;
 const WORKLOADS: &[&str] = &[
     "chase-hot",
     "chase-dram",
+    "chase-tight",
     "zipf-uniform",
     "scan-warm",
     "alu-dense",
 ];
 
-/// CI smoke subset: miss-path kernels plus the fused-loop kernel.
-const SMOKE: &[&str] = &["chase-hot", "chase-dram", "alu-dense"];
+/// CI smoke subset: miss-path kernels plus the dispatch-bound kernels.
+const SMOKE: &[&str] = &["chase-hot", "chase-dram", "chase-tight", "alu-dense"];
 
 /// Step budget: large enough that per-run setup noise is negligible.
 const MAX_STEPS: u64 = 1 << 26;
@@ -68,7 +80,7 @@ const REPS: usize = 3;
 /// Builds the load-free ALU kernel: a counted loop of dependent 1-cycle
 /// ALU ops — the regime the fused Imm/Alu dispatch loop targets. Returns
 /// the machine and the host seconds spent *executing* (build excluded).
-fn run_alu_dense() -> (Machine, f64) {
+fn run_alu_dense(blocks: bool) -> (Machine, f64) {
     const ITERS: u64 = 200_000;
     let mut b = ProgramBuilder::new("alu_dense");
     let cnt = Reg(0);
@@ -85,6 +97,7 @@ fn run_alu_dense() -> (Machine, f64) {
     b.halt();
     let prog = b.finish().expect("alu kernel is well-formed");
     let mut m = Machine::new(MachineConfig::default());
+    m.blocks_enabled = blocks;
     let mut ctx = Context::new(0);
     let started = Instant::now();
     let exit = m.run_to_completion(&prog, &mut ctx, MAX_STEPS).unwrap();
@@ -117,7 +130,7 @@ fn hot_config() -> MachineConfig {
 
 /// Runs one of the built workloads sequentially; the timer covers only
 /// the execution phase, not workload construction or checksum checks.
-fn run_workload(name: &str) -> (Machine, f64) {
+fn run_workload(name: &str, blocks: bool) -> (Machine, f64) {
     let cfg = if name == "chase-hot" {
         hot_config()
     } else {
@@ -152,6 +165,22 @@ fn run_workload(name: &str) -> (Machine, f64) {
             },
             1,
         ),
+        // 64 nodes × 64-byte stride = 4 KiB: resident in the simulated
+        // L1 after one lap, so every hop is an L1 hit and the cell is
+        // dispatch-bound — the tight-loop regime superblocks target.
+        "chase-tight" => build_chase(
+            mem,
+            alloc,
+            ChaseParams {
+                nodes: 64,
+                hops: 1 << 17,
+                node_stride: 64,
+                work_per_hop: 0,
+                work_insts: 1,
+                seed: 0x51,
+            },
+            1,
+        ),
         "zipf-uniform" => build_zipf_kv(
             mem,
             alloc,
@@ -175,6 +204,7 @@ fn run_workload(name: &str) -> (Machine, f64) {
         ),
         other => panic!("unknown simperf workload {other:?}"),
     });
+    m.blocks_enabled = blocks;
     let mut ctxs = w.make_contexts();
     let started = Instant::now();
     run_sequential(&mut m, &w.prog, &mut ctxs, MAX_STEPS).unwrap();
@@ -212,33 +242,52 @@ impl Experiment for SimPerf {
     }
 
     fn run_cell(&self, cell: &Cell, _seed: u64) -> CellMetrics {
+        let run_one = |blocks: bool| match cell.workload.as_str() {
+            "alu-dense" => run_alu_dense(blocks),
+            other => run_workload(other, blocks),
+        };
         let mut insts = 0u64;
         let mut cycles = 0u64;
-        let mut best_s = f64::INFINITY;
+        let mut best_blocks = f64::INFINITY;
+        let mut best_fast = f64::INFINITY;
+        let mut bstats = reach_sim::BlockCacheStats::default();
         for rep in 0..REPS {
-            let (m, host_s) = match cell.workload.as_str() {
-                "alu-dense" => run_alu_dense(),
-                other => run_workload(other),
-            };
+            let (mb, sb) = run_one(true);
+            let (mf, sf) = run_one(false);
+            // The two engines must be observationally identical — this
+            // doubles as a differential canary on real workloads.
+            assert_eq!(
+                mb.counters, mf.counters,
+                "{}: engine counters diverge",
+                cell
+            );
+            assert_eq!(mb.now, mf.now, "{}: engine clocks diverge", cell);
             if rep == 0 {
-                insts = m.counters.instructions;
-                cycles = m.now;
+                insts = mb.counters.instructions;
+                cycles = mb.now;
+                bstats = mb.block_cache.stats.clone();
             } else {
                 assert_eq!(
-                    (m.counters.instructions, m.now),
+                    (mb.counters.instructions, mb.now),
                     (insts, cycles),
                     "{}: simulated metrics differ across repetitions",
                     cell
                 );
             }
-            best_s = best_s.min(host_s);
+            best_blocks = best_blocks.min(sb);
+            best_fast = best_fast.min(sf);
         }
         let mut out = CellMetrics::new();
         out.put_u64("sim_insts", insts)
             .put_u64("sim_cycles", cycles)
-            .put_f64("sim_ips", insts as f64 / best_s)
-            .put_f64("host_ns_per_inst", best_s * 1e9 / insts as f64)
-            .put_f64("host_ms", best_s * 1e3);
+            .put_f64("sim_ips", insts as f64 / best_blocks)
+            .put_f64("fastpath_ips", insts as f64 / best_fast)
+            .put_f64("speedup_blocks", best_fast / best_blocks)
+            .put_f64("host_ns_per_inst", best_blocks * 1e9 / insts as f64)
+            .put_f64("host_ms", best_blocks * 1e3)
+            .put_u64("blocks_compiled", bstats.compiled)
+            .put_f64("block_hit_rate", bstats.hit_rate())
+            .put_u64("block_invalidations", bstats.invalidations);
         out
     }
 }

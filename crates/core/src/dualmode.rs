@@ -57,6 +57,15 @@ pub struct WatchdogOptions {
     pub max_quarantines: u32,
 }
 
+/// Per-slice instruction budget for scavengers when **no** watchdog is
+/// armed. Historically an unwatched scavenger inherited the whole
+/// per-context budget (`u64::MAX` by default) as its slice budget, so a
+/// single runaway scavenger could hang the entire dual-mode run during
+/// one fill. Large enough that no legitimate scavenger slice ever hits
+/// it (the watchdog default is 50 k steps; this is 80×), small enough
+/// that a runaway faults out in bounded time.
+pub const DEFAULT_UNWATCHED_SLICE_STEPS: u64 = 4_000_000;
+
 impl Default for WatchdogOptions {
     fn default() -> Self {
         WatchdogOptions {
@@ -186,10 +195,14 @@ pub fn run_dual_mode(
     let mut release_at: Vec<Option<u64>> = vec![None; scavengers.len()];
     let mut next_scav = 0usize;
     // Per-slice instruction budget: the watchdog preempts long before
-    // the overall per-context budget would.
+    // the overall per-context budget would. Unwatched runs still get a
+    // large-but-finite slice ceiling — without it a runaway scavenger
+    // inherits `max_steps_per_ctx` (`u64::MAX` by default) and hangs the
+    // run inside a single fill; with it the runaway hits `StepLimit`,
+    // faults out, and the primary proceeds.
     let slice_budget = match &opts.watchdog {
         Some(w) => w.slice_steps.min(opts.max_steps_per_ctx),
-        None => opts.max_steps_per_ctx,
+        None => DEFAULT_UNWATCHED_SLICE_STEPS.min(opts.max_steps_per_ctx),
     };
 
     'primary: loop {
@@ -614,6 +627,54 @@ mod tests {
         // still ran it to completion.
         assert_eq!(tight.scavengers_completed, 1);
         assert!(tight.context_faults.is_empty());
+    }
+
+    #[test]
+    fn unwatched_runaway_faults_out_instead_of_hanging_the_run() {
+        // Regression test for the unwatched-slice footgun: with no
+        // watchdog armed, the scavenger slice budget used to inherit
+        // `max_steps_per_ctx` (`u64::MAX` by default), so an *infinite*
+        // runaway scavenger would hang the whole run inside one fill.
+        // With the finite default the runaway hits its slice ceiling,
+        // faults out, and the primary completes.
+        let mut b = ProgramBuilder::new("runaway_forever");
+        b.imm(Reg(2), 1);
+        let top = b.label();
+        b.bind(top);
+        b.alu(AluOp::Add, Reg(1), Reg(1), Reg(2), 1);
+        b.branch(Cond::Nez, Reg(2), top); // Reg(2) == 1: always taken
+        b.halt(); // unreachable
+        let scav = b.finish().unwrap();
+
+        let prog = dual_instrumented_chase(true);
+        let hops = 8u64;
+        let mut m = Machine::new(MachineConfig::default());
+        let hp = lay_chain(&mut m, 0x100_0000, hops);
+        let mut primary = ctx_for(0, hp, hops);
+        let mut scavs = vec![Context::new(1)];
+        let r = run_dual_mode(
+            &mut m,
+            &prog,
+            &mut primary,
+            &scav,
+            &mut scavs,
+            &DualModeOptions {
+                watchdog: None,
+                drain_scavengers: false,
+                ..DualModeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(primary.status, Status::Done);
+        // A `StepLimit` without a watchdog armed is a fault, not a
+        // preemption: the runaway is retired after exactly one slice.
+        assert_eq!(scavs[0].status, Status::Faulted);
+        assert!(
+            scavs[0].stats.instructions <= DEFAULT_UNWATCHED_SLICE_STEPS + 2,
+            "runaway ran {} instructions; slice ceiling did not engage",
+            scavs[0].stats.instructions
+        );
+        assert!(r.quarantined.is_empty());
     }
 
     /// A phased scavenger: `r1` iterations of hostile non-yielding

@@ -1014,6 +1014,11 @@ fn run_loop(
                     );
                     crash_point!(CP_MID_SWAP, CrashPoint::MidSwap, epoch);
                     cur = b;
+                    // The superblock cache is keyed by program identity,
+                    // not content: every deployment change must drop it
+                    // or the engine could keep serving blocks compiled
+                    // from the retired build.
+                    machine.invalidate_blocks();
                     failures = 0;
                     breaker = BreakerState::Closed;
                     jappend!(
@@ -1065,6 +1070,9 @@ fn run_loop(
                         crash_point!(CP_MID_SWAP, CrashPoint::MidSwap, epoch);
                         breaker = BreakerState::Open;
                         cur = fb;
+                        // Same rule as the swap path above: a fallback
+                        // deployment is still a code-map change.
+                        machine.invalidate_blocks();
                         jappend!(
                             JournalRecord::Breaker {
                                 epoch,
@@ -1640,6 +1648,45 @@ mod tests {
             "post-swap p99 {} !< pre-swap max {pre}",
             r.p99_after(swap_epoch + 1)
         );
+    }
+
+    #[test]
+    fn hot_swap_invalidates_superblock_cache() {
+        // The superblock engine caches pre-decoded blocks keyed by
+        // program *identity*; a hot swap changes the code map under the
+        // serving loop, so every deployment change must invalidate the
+        // cache — blocks compiled from any earlier traffic (warmup,
+        // off-epoch uninstrumented jobs) must not survive a deploy.
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+
+        // Warm the superblock cache with uninstrumented traffic (the
+        // supervisor's own serving loop keeps the in-situ sampler armed,
+        // which routes around the block engine — warmup models the
+        // direct/uninstrumented callers that do reach it).
+        let mut wb = ProgramBuilder::new("warmup");
+        wb.imm(Reg(1), 64).imm(Reg(2), 1);
+        let top = wb.label();
+        wb.bind(top);
+        wb.alu(AluOp::Sub, Reg(1), Reg(1), Reg(2), 1);
+        wb.branch(Cond::Nez, Reg(1), top);
+        wb.halt();
+        let warm_prog = wb.finish().unwrap();
+        let mut warm = Context::new(7_000);
+        m.run_to_completion(&warm_prog, &mut warm, 1 << 20).unwrap();
+        assert!(m.block_cache.stats.compiled > 0, "warmup compiled nothing");
+        assert!(m.block_cache.cached_blocks() > 0);
+
+        let r = supervise(&mut m, &mut svc, &orig, init, &drift_opts()).unwrap();
+        assert_eq!(r.swaps, 1, "{}", r.incident_log_json());
+        assert_eq!(
+            m.block_cache.stats.invalidations, r.swaps,
+            "every hot swap must invalidate the superblock cache"
+        );
+        // The pre-swap blocks are gone, not merely shadowed.
+        assert_eq!(m.block_cache.cached_blocks(), 0);
     }
 
     #[test]

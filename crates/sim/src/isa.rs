@@ -85,6 +85,32 @@ pub enum AluOp {
 }
 
 impl AluOp {
+    /// Every operation, in declaration order: `ALL[op.index()] == op`.
+    /// Lets pre-decoders (the superblock engine) pack an operation into a
+    /// small integer and recover it without a match.
+    pub const ALL: [AluOp; 14] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::SltU,
+        AluOp::Seq,
+        AluOp::Min,
+        AluOp::Max,
+    ];
+
+    /// The operation's declaration-order index (inverse of [`AluOp::ALL`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Evaluates the operation on two operands.
     #[inline]
     pub fn eval(self, a: u64, b: u64) -> u64 {

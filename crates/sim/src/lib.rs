@@ -44,6 +44,7 @@
 //! assert_eq!(m.counters.stall_cycles, 270);
 //! ```
 
+pub mod blocks;
 pub mod cache;
 pub mod config;
 pub mod context;
@@ -81,6 +82,7 @@ pub(crate) fn host_prefetch<T>(p: &T) {
     let _ = p;
 }
 
+pub use blocks::{BlockCache, BlockCacheStats};
 pub use cache::{Access, AccessKind, CacheStats, Hierarchy, Level};
 pub use config::{CacheLevelConfig, MachineConfig};
 pub use context::{Context, ContextStats, Mode, Status};

@@ -9,6 +9,7 @@
 //! split is what lets the same substrate honestly compare hardware and
 //! software hiding mechanisms.
 
+use crate::blocks::BlockCache;
 use crate::cache::{AccessKind, Hierarchy, Level};
 use crate::config::MachineConfig;
 use crate::context::{Context, Mode, PendingLoad, Status, MAX_CALL_DEPTH};
@@ -163,6 +164,14 @@ pub struct Machine {
     /// `Some(FaultInjector::new(plan))` to corrupt the observation and
     /// execution channels the plan arms).
     pub faults: Option<FaultInjector>,
+    /// Cached superblocks for the pre-decoded dispatch tier (see
+    /// [`crate::blocks`]). Keyed by program identity; must be invalidated
+    /// via [`Machine::invalidate_blocks`] on any code-map change.
+    pub block_cache: BlockCache,
+    /// Whether the uninstrumented tier uses the superblock engine
+    /// (default) or the per-instruction fused fast path. Disable to A/B
+    /// the dispatch mechanisms; simulated state is identical either way.
+    pub blocks_enabled: bool,
 }
 
 impl Machine {
@@ -185,7 +194,19 @@ impl Machine {
             switch_on_stall: false,
             trace: None,
             faults: None,
+            block_cache: BlockCache::default(),
+            blocks_enabled: true,
         }
+    }
+
+    /// Drops every cached superblock. **Required** whenever a code map
+    /// changes under a live machine: a supervisor hot swap, a
+    /// re-instrumentation pass, or any in-place mutation of a [`Program`]
+    /// this machine has already executed. Cheap when nothing is cached;
+    /// debug builds catch violations by revalidating block content
+    /// hashes on every dispatch.
+    pub fn invalidate_blocks(&mut self) {
+        self.block_cache.invalidate();
     }
 
     /// Programs an additional PEBS counter; returns its index for
@@ -238,7 +259,7 @@ impl Machine {
 
     /// Records a taken control transfer into the LBR, unless disabled or
     /// dropped by the fault injector (ring truncation).
-    fn record_branch(&mut self, from: usize, to: usize) {
+    pub(crate) fn record_branch(&mut self, from: usize, to: usize) {
         if !self.lbr_enabled {
             return;
         }
@@ -252,7 +273,7 @@ impl Machine {
 
     /// Charges `c` cycles of useful work.
     #[inline]
-    fn busy(&mut self, c: u64) {
+    pub(crate) fn busy(&mut self, c: u64) {
         self.now += c;
         self.counters.busy_cycles += c;
     }
@@ -279,7 +300,7 @@ impl Machine {
 
     /// Completes a parked [`PendingLoad`] if its data has arrived; charges
     /// any residual stall if the executor resumed the context early.
-    fn complete_pending(&mut self, ctx: &mut Context) {
+    pub(crate) fn complete_pending(&mut self, ctx: &mut Context) {
         if let Some(p) = ctx.pending_load.take() {
             if self.now < p.ready {
                 let residual = p.ready - self.now;
@@ -399,7 +420,7 @@ impl Machine {
             Inst::Store { src, addr, offset } => {
                 let ea = ctx.reg(addr).wrapping_add_signed(offset);
                 let _ = self.hier.access(ea, self.now, AccessKind::Store);
-                self.mem.write(ea, ctx.reg(src))?;
+                self.mem.write_hot(ea, ctx.reg(src))?;
                 ctx.pc += 1;
                 self.busy(1);
                 self.counters.stores += 1;
@@ -505,11 +526,13 @@ impl Machine {
     /// Runs `ctx` until a yield fires, it stalls (switch-on-stall mode),
     /// it halts, or `max_steps` instructions have retired.
     ///
-    /// Cycle-exact regardless of route: when the machine is
-    /// uninstrumented this dispatches to a fused fast path; otherwise it
-    /// is a plain loop over [`Machine::step`]. Both produce identical
-    /// counters, registers, clock and exits (enforced by a differential
-    /// proptest).
+    /// Cycle-exact regardless of route. Dispatch is three-tiered: when
+    /// the machine is uninstrumented this selects the superblock engine
+    /// ([`crate::blocks`], the default) or the per-instruction fused
+    /// fast path (when [`Machine::blocks_enabled`] is off); otherwise it
+    /// is a plain loop over [`Machine::step`]. All three produce
+    /// identical counters, registers, clock and exits (enforced by
+    /// differential proptests).
     pub fn run(
         &mut self,
         prog: &Program,
@@ -517,6 +540,15 @@ impl Machine {
         max_steps: u64,
     ) -> Result<Exit, ExecError> {
         if self.uninstrumented() {
+            if self.blocks_enabled {
+                // Move the cache out for the duration of the run so the
+                // dispatch loop can borrow blocks while handlers borrow
+                // the machine mutably.
+                let mut cache = std::mem::take(&mut self.block_cache);
+                let r = self.run_blocks(&mut cache, prog, ctx, max_steps);
+                self.block_cache = cache;
+                return r;
+            }
             return self.run_fast(prog, ctx, max_steps);
         }
         for _ in 0..max_steps {
@@ -548,7 +580,7 @@ impl Machine {
     /// executes: loads, stores, prefetches, yields, halt, LBR records,
     /// and every error return. At each of those points the machine state
     /// is bit-identical to what the step-by-step route produces.
-    fn run_fast(
+    pub(crate) fn run_fast(
         &mut self,
         prog: &Program,
         ctx: &mut Context,
@@ -701,7 +733,7 @@ impl Machine {
                     flush!();
                     let ea = ctx.reg(addr).wrapping_add_signed(offset);
                     let _ = self.hier.access(ea, self.now, AccessKind::Store);
-                    self.mem.write(ea, ctx.reg(src))?;
+                    self.mem.write_hot(ea, ctx.reg(src))?;
                     ctx.pc = pc + 1;
                     self.busy(1);
                     self.counters.stores += 1;

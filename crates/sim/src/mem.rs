@@ -13,8 +13,12 @@
 //! * pages live in a slab (`Vec` of boxed page arrays) and a side index
 //!   maps page number → slot, hashed with the cheap deterministic
 //!   [`crate::fxhash`] hasher instead of SipHash;
-//! * a single-entry last-page cache (a software TLB) short-circuits the
-//!   index probe entirely for the overwhelmingly common same-page case;
+//! * a small direct-mapped last-page cache (a software TLB, indexed by
+//!   the low page-number bits) short-circuits the index probe entirely
+//!   for the overwhelmingly common recently-touched-page case — on both
+//!   the read ([`Memory::read_hot`]) and write ([`Memory::write_hot`])
+//!   paths, so a load/store mix over a few pages never thrashes a single
+//!   shared entry;
 //! * [`Memory::write_slice`] resolves each page once per page, not once
 //!   per word.
 //!
@@ -31,6 +35,11 @@ const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
 /// largest real tag is `u64::MAX / 4096`; `u64::MAX` can never collide.
 const TLB_EMPTY: u64 = u64::MAX;
 
+/// Software-TLB entries (direct-mapped on the low page-number bits).
+/// Small enough to live in registers/L1, large enough that a loop mixing
+/// loads and stores over a few distinct pages holds all of them.
+const TLB_WAYS: usize = 4;
+
 /// Sparse, paged, word-addressed memory.
 #[derive(Clone, Debug)]
 pub struct Memory {
@@ -38,10 +47,11 @@ pub struct Memory {
     slabs: Vec<Box<[u64; WORDS_PER_PAGE]>>,
     /// Page number → slot in `slabs`.
     index: FxHashMap<u64, u32>,
-    /// Software TLB: tag of the last page resolved by a `&mut` access.
-    tlb_page: u64,
-    /// Slot the TLB tag maps to (valid only when `tlb_page != TLB_EMPTY`).
-    tlb_slot: u32,
+    /// Software TLB tags: page numbers, direct-mapped by
+    /// `page % TLB_WAYS` ([`TLB_EMPTY`] = invalid entry).
+    tlb_pages: [u64; TLB_WAYS],
+    /// Slots the TLB tags map to (valid only where the tag is).
+    tlb_slots: [u32; TLB_WAYS],
 }
 
 impl Default for Memory {
@@ -49,8 +59,8 @@ impl Default for Memory {
         Memory {
             slabs: Vec::new(),
             index: FxHashMap::default(),
-            tlb_page: TLB_EMPTY,
-            tlb_slot: 0,
+            tlb_pages: [TLB_EMPTY; TLB_WAYS],
+            tlb_slots: [0; TLB_WAYS],
         }
     }
 }
@@ -81,6 +91,12 @@ impl Memory {
         Memory::default()
     }
 
+    /// The TLB entry `page` maps to (direct-mapped, low bits).
+    #[inline]
+    fn tlb_way(page: u64) -> usize {
+        (page % TLB_WAYS as u64) as usize
+    }
+
     /// Resolves `page` to its slab slot, materializing a zero page if
     /// needed, and caches the translation in the TLB.
     #[inline]
@@ -94,8 +110,9 @@ impl Memory {
                 s
             }
         };
-        self.tlb_page = page;
-        self.tlb_slot = slot;
+        let way = Self::tlb_way(page);
+        self.tlb_pages[way] = page;
+        self.tlb_slots[way] = slot;
         slot
     }
 
@@ -109,8 +126,9 @@ impl Memory {
         }
         let page = addr / PAGE_BYTES;
         let word = ((addr % PAGE_BYTES) / 8) as usize;
-        if page == self.tlb_page {
-            return Ok(self.slabs[self.tlb_slot as usize][word]);
+        let way = Self::tlb_way(page);
+        if page == self.tlb_pages[way] {
+            return Ok(self.slabs[self.tlb_slots[way] as usize][word]);
         }
         Ok(self
             .index
@@ -132,13 +150,14 @@ impl Memory {
         }
         let page = addr / PAGE_BYTES;
         let word = ((addr % PAGE_BYTES) / 8) as usize;
-        if page == self.tlb_page {
-            return Ok(self.slabs[self.tlb_slot as usize][word]);
+        let way = Self::tlb_way(page);
+        if page == self.tlb_pages[way] {
+            return Ok(self.slabs[self.tlb_slots[way] as usize][word]);
         }
         match self.index.get(&page) {
             Some(&s) => {
-                self.tlb_page = page;
-                self.tlb_slot = s;
+                self.tlb_pages[way] = page;
+                self.tlb_slots[way] = s;
                 Ok(self.slabs[s as usize][word])
             }
             None => Ok(0),
@@ -156,8 +175,9 @@ impl Memory {
     pub fn host_prefetch(&self, addr: u64) {
         let page = addr / PAGE_BYTES;
         let word = ((addr % PAGE_BYTES) / 8) as usize;
-        let slot = if page == self.tlb_page {
-            self.tlb_slot
+        let way = Self::tlb_way(page);
+        let slot = if page == self.tlb_pages[way] {
+            self.tlb_slots[way]
         } else {
             match self.index.get(&page) {
                 Some(&s) => s,
@@ -172,13 +192,26 @@ impl Memory {
     /// Returns [`MemError::Unaligned`] if `addr` is not 8-byte aligned.
     #[inline]
     pub fn write(&mut self, addr: u64, val: u64) -> Result<(), MemError> {
+        self.write_hot(addr, val)
+    }
+
+    /// Writes the 64-bit word at `addr`, refilling the TLB on miss — the
+    /// write-path mirror of [`Memory::read_hot`]'s discipline.
+    ///
+    /// Same observable result as [`Memory::write`] always had (writes
+    /// must materialize, so resolving already refilled the TLB via
+    /// [`Memory::resolve_mut`]); the interpreter's store paths use this
+    /// so a run of same-page stores pays the page index probe once.
+    #[inline]
+    pub fn write_hot(&mut self, addr: u64, val: u64) -> Result<(), MemError> {
         if !addr.is_multiple_of(8) {
             return Err(MemError::Unaligned { addr });
         }
         let page = addr / PAGE_BYTES;
         let word = ((addr % PAGE_BYTES) / 8) as usize;
-        let slot = if page == self.tlb_page {
-            self.tlb_slot
+        let way = Self::tlb_way(page);
+        let slot = if page == self.tlb_pages[way] {
+            self.tlb_slots[way]
         } else {
             self.resolve_mut(page)
         };
@@ -328,5 +361,51 @@ mod tests {
         assert_eq!(a.read(0x2000).unwrap(), 0);
         assert_eq!(b.read_hot(0x1000).unwrap(), 2);
         assert_eq!(b.read_hot(0x2000).unwrap(), 3);
+    }
+
+    #[test]
+    fn write_hot_matches_write_and_accounts_residency_identically() {
+        // The satellite differential: a mixed read/write trace through
+        // the hot paths must leave the same values and the same resident
+        // footprint as the cold paths.
+        let mk_trace = || -> Vec<(u64, u64)> {
+            // Addresses spanning TLB-conflicting pages (same way), fresh
+            // pages, and repeats.
+            vec![
+                (0x0000, 1),
+                (0x1000, 2),
+                (0x4000, 3), // same way as 0x0000
+                (0x0008, 4),
+                (0x9000, 5),
+                (0x4000, 6), // overwrite
+            ]
+        };
+        let mut hot = Memory::new();
+        let mut cold = Memory::new();
+        for (addr, val) in mk_trace() {
+            hot.write_hot(addr, val).unwrap();
+            assert_eq!(hot.read_hot(addr).unwrap(), val);
+            // Reference path: resolve through the index only.
+            cold.write_slice(addr, &[val]);
+        }
+        for (addr, _) in mk_trace() {
+            assert_eq!(hot.read(addr).unwrap(), cold.read(addr).unwrap());
+        }
+        assert_eq!(hot.resident_pages(), cold.resident_pages());
+        assert_eq!(hot.resident_bytes(), cold.resident_bytes());
+    }
+
+    #[test]
+    fn direct_mapped_tlb_survives_way_conflicts() {
+        let mut m = Memory::new();
+        // Pages 0,4,8 all map to way 0; interleave with pages 1 and 2.
+        for (i, base) in [0u64, 0x4000, 0x8000, 0x1000, 0x2000].iter().enumerate() {
+            m.write_hot(*base, i as u64 + 10).unwrap();
+        }
+        for (i, base) in [0u64, 0x4000, 0x8000, 0x1000, 0x2000].iter().enumerate() {
+            assert_eq!(m.read_hot(*base).unwrap(), i as u64 + 10);
+            assert_eq!(m.read(*base).unwrap(), i as u64 + 10);
+        }
+        assert_eq!(m.resident_pages(), 5);
     }
 }

@@ -1,17 +1,26 @@
 //! Differential property tests for the interpreter's uninstrumented
-//! fast path.
+//! fast paths.
 //!
-//! `Machine::run` dispatches to a fused straight-line loop whenever no
-//! sampler, tracer or fault injector is attached. That fast path must be
-//! *observationally identical* to the instrumented step-by-step path on
-//! every program: same exit sequence (including `StepLimit` boundaries at
+//! `Machine::run` has three dispatch tiers: the instrumented
+//! step-by-step path (whenever a sampler, tracer or fault injector is
+//! attached), the fused per-instruction fast path, and the superblock
+//! engine (pre-decoded, cached basic blocks — the default when
+//! uninstrumented). The two uninstrumented tiers must be
+//! *observationally identical* to the instrumented reference on every
+//! program: same exit sequence (including `StepLimit` boundaries at
 //! arbitrary chunk sizes), same clock, same performance counters, same
-//! registers, same memory, same LBR records.
+//! registers, same memory and resident-page accounting, same LBR
+//! records.
 //!
 //! The reference executor here is the same `Machine` with a passive
 //! execution trace attached: tracing forces the instrumented path but
-//! records without perturbing any simulated state, so any divergence is a
-//! fast-path bug.
+//! records without perturbing any simulated state, so any divergence is
+//! a fast-path (or block-engine) bug.
+//!
+//! The block engine additionally caches decoded blocks across runs, so
+//! a dedicated property drives it with `Machine::invalidate_blocks`
+//! fired between every resume: invalidation must be a pure cache event
+//! with zero effect on simulated state.
 
 mod common;
 
@@ -20,12 +29,37 @@ use proptest::prelude::*;
 use reach_sim::isa::{AluOp, Cond, ProgramBuilder, Reg};
 use reach_sim::{Context, Exit, Machine, Program, Trace};
 
+/// Which dispatch tier a differential run pins `Machine::run` to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Engine {
+    /// Instrumented step-by-step reference (passive trace attached).
+    Slow,
+    /// Fused per-instruction fast path (blocks disabled).
+    Fast,
+    /// Superblock engine (the uninstrumented default).
+    Blocks,
+    /// Superblock engine with the block cache invalidated between every
+    /// resume: each chunk recompiles from a cold cache. Exercises
+    /// mid-run invalidation (the hot-swap path) at every `StepLimit`,
+    /// yield and stall boundary.
+    BlocksInvalidated,
+}
+
 /// Drives `prog` to completion in `chunk`-step slices, self-resuming
 /// yields and waiting out parked stalls exactly like
 /// [`Machine::run_to_completion`], and returns every observed exit.
-fn drive(m: &mut Machine, prog: &Program, ctx: &mut Context, chunk: u64) -> Vec<Exit> {
+fn drive(
+    m: &mut Machine,
+    prog: &Program,
+    ctx: &mut Context,
+    chunk: u64,
+    invalidate: bool,
+) -> Vec<Exit> {
     let mut exits = Vec::new();
     for _ in 0..1_000_000u32 {
+        if invalidate {
+            m.invalidate_blocks();
+        }
         let e = m.run(prog, ctx, chunk).expect("clean run");
         exits.push(e);
         match e {
@@ -41,8 +75,8 @@ fn drive(m: &mut Machine, prog: &Program, ctx: &mut Context, chunk: u64) -> Vec<
     panic!("generated program did not terminate");
 }
 
-/// Observable machine state after a run: everything the fast path could
-/// plausibly get wrong.
+/// Observable machine state after a run: everything the uninstrumented
+/// tiers could plausibly get wrong.
 #[derive(Debug, PartialEq)]
 struct Observed {
     exits: Vec<Exit>,
@@ -50,6 +84,7 @@ struct Observed {
     counters: reach_sim::PerfCounters,
     regs: [u64; 32],
     mem: Vec<u64>,
+    resident_pages: usize,
     lbr: Vec<reach_sim::BranchRecord>,
     ctx_insts: u64,
 }
@@ -60,15 +95,19 @@ fn observe(
     chunk: u64,
     switch_on_stall: bool,
     lbr: bool,
-    force_slow: bool,
+    engine: Engine,
 ) -> Observed {
     let (mut m, mut ctx) = machine_for(g);
     m.switch_on_stall = switch_on_stall;
     m.lbr_enabled = lbr;
-    if force_slow {
-        m.trace = Some(Trace::new(1 << 12));
+    match engine {
+        Engine::Slow => m.trace = Some(Trace::new(1 << 12)),
+        Engine::Fast => m.blocks_enabled = false,
+        Engine::Blocks | Engine::BlocksInvalidated => m.blocks_enabled = true,
     }
-    let exits = drive(&mut m, prog, &mut ctx, chunk);
+    let invalidate = engine == Engine::BlocksInvalidated;
+    let exits = drive(&mut m, prog, &mut ctx, chunk, invalidate);
+    let resident_pages = m.mem.resident_pages();
     let mem: Vec<u64> = (0..REGION_WORDS + POOL.len() as u64)
         .map(|k| m.mem.read(common::BASE + k * 8).expect("aligned"))
         .collect();
@@ -78,6 +117,7 @@ fn observe(
         counters: m.counters.clone(),
         regs: ctx.regs,
         mem,
+        resident_pages,
         lbr: m.lbr.snapshot(),
         ctx_insts: ctx.stats.instructions,
     }
@@ -124,10 +164,37 @@ proptest! {
         switch_on_stall in any::<bool>(),
         lbr in any::<bool>(),
     ) {
-        let slow = observe(&g, &g.prog, chunk, switch_on_stall, lbr, true);
-        let fast = observe(&g, &g.prog, chunk, switch_on_stall, lbr, false);
+        let slow = observe(&g, &g.prog, chunk, switch_on_stall, lbr, Engine::Slow);
+        let fast = observe(&g, &g.prog, chunk, switch_on_stall, lbr, Engine::Fast);
         prop_assert_eq!(&slow.exits, &fast.exits, "exit sequences diverge");
         prop_assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn block_engine_matches_instrumented_path(
+        g in gen_program(),
+        chunk in prop_oneof![1u64..64, Just(1_000_000u64)],
+        switch_on_stall in any::<bool>(),
+        lbr in any::<bool>(),
+    ) {
+        let slow = observe(&g, &g.prog, chunk, switch_on_stall, lbr, Engine::Slow);
+        let blocks = observe(&g, &g.prog, chunk, switch_on_stall, lbr, Engine::Blocks);
+        prop_assert_eq!(&slow.exits, &blocks.exits, "exit sequences diverge");
+        prop_assert_eq!(slow, blocks);
+    }
+
+    #[test]
+    fn mid_run_invalidation_never_changes_state(
+        g in gen_program(),
+        chunk in prop_oneof![1u64..64, Just(1_000_000u64)],
+        switch_on_stall in any::<bool>(),
+        lbr in any::<bool>(),
+    ) {
+        let warm = observe(&g, &g.prog, chunk, switch_on_stall, lbr, Engine::Blocks);
+        let cold = observe(
+            &g, &g.prog, chunk, switch_on_stall, lbr, Engine::BlocksInvalidated,
+        );
+        prop_assert_eq!(warm, cold, "invalidation perturbed simulated state");
     }
 
     #[test]
@@ -137,8 +204,20 @@ proptest! {
         lbr in any::<bool>(),
     ) {
         let g = GenProgram { prog: call_prog(), init_words: vec![7; REGION_WORDS as usize] };
-        let slow = observe(&g, &g.prog, chunk, switch_on_stall, lbr, true);
-        let fast = observe(&g, &g.prog, chunk, switch_on_stall, lbr, false);
+        let slow = observe(&g, &g.prog, chunk, switch_on_stall, lbr, Engine::Slow);
+        let fast = observe(&g, &g.prog, chunk, switch_on_stall, lbr, Engine::Fast);
         prop_assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn block_engine_matches_on_calls_and_prefetches(
+        chunk in 1u64..24,
+        switch_on_stall in any::<bool>(),
+        lbr in any::<bool>(),
+    ) {
+        let g = GenProgram { prog: call_prog(), init_words: vec![7; REGION_WORDS as usize] };
+        let slow = observe(&g, &g.prog, chunk, switch_on_stall, lbr, Engine::Slow);
+        let blocks = observe(&g, &g.prog, chunk, switch_on_stall, lbr, Engine::Blocks);
+        prop_assert_eq!(slow, blocks);
     }
 }
