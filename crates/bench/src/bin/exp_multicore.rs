@@ -1,0 +1,9 @@
+//! Thin wrapper: runs the [`multicore`] experiment through the shared
+//! parallel driver (`--smoke --jobs N --out-dir DIR`; see
+//! `reach_bench::driver`).
+//!
+//! [`multicore`]: reach_bench::experiments::multicore
+
+fn main() {
+    reach_bench::driver::single_main(&reach_bench::experiments::multicore::Multicore);
+}

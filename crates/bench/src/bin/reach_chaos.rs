@@ -11,7 +11,8 @@
 //!
 //! ```sh
 //! cargo run --release -p reach-bench --bin reach_chaos -- \
-//!     [--campaigns N] [--seed S] [--minimize] [--broken]
+//!     [--campaigns N] [--seed S] [--minimize] [--broken] \
+//!     [--fleet [--shards N]]
 //! ```
 //!
 //! Options:
@@ -24,20 +25,67 @@
 //! * `--broken` — sabotage recovery on purpose (`revalidate: false`
 //!   plus artifact bit-rot between crash and restart) to demo the
 //!   oracle catching it; with `--minimize`, the shrinker demo too.
+//! * `--fleet` — run *fleet* schedules instead: shard crashes
+//!   mid-rollout, torn journals on one shard, runaway scavengers on
+//!   another, poisoned rolling deploys, audited by the fleet oracles
+//!   (capacity, poison containment, journal-projection ≡ live state,
+//!   bounded unavailability). Not combinable with `--minimize` or
+//!   `--broken`.
+//! * `--shards N` — fleet width for `--fleet` (default 2).
 //!
 //! Exit status: 0 when every schedule passed all oracles, 1 when any
 //! violated (including under `--broken` — the violation is the point,
 //! but the exit code stays honest), 2 on usage errors.
 
 use reach_bench::experiments::chaos::{default_chaos_opts, drift_world};
-use reach_core::{minimize, run_campaigns, run_schedule, StoredBuild};
+use reach_bench::experiments::multicore::{default_fleet_chaos_opts, fleet_chaos_factory};
+use reach_core::{minimize, run_campaigns, run_fleet_campaigns, run_schedule, StoredBuild};
 use reach_sim::Inst;
 
 const MINIMIZE_BUDGET: u64 = 128;
 
 fn usage() -> ! {
-    eprintln!("usage: reach_chaos [--campaigns N] [--seed S] [--minimize] [--broken]");
+    eprintln!(
+        "usage: reach_chaos [--campaigns N] [--seed S] [--minimize] [--broken] \
+         [--fleet [--shards N]]"
+    );
     std::process::exit(2);
+}
+
+/// Runs randomized fleet schedules and reports like the single-shard
+/// path: aggregate counters, the batch xr-hash, and a copy-pasteable
+/// repro for every violating schedule. Exit 1 on any violation.
+fn fleet_main(campaigns: u64, seed: u64, shards: usize) -> ! {
+    let opts = default_fleet_chaos_opts(shards);
+    let mut factory = fleet_chaos_factory(shards);
+    println!("== reach-chaos --fleet: {campaigns} campaign(s), {shards} shard(s), seed {seed} ==");
+    let rep = run_fleet_campaigns(&mut factory, campaigns, seed, &opts).expect("validated config");
+    println!(
+        "campaigns {}  shard-crashes {}  recoveries {}  rollout-deploys {}  rollouts-frozen {}",
+        rep.campaigns, rep.crashes, rep.recoveries, rep.rollout_deploys, rep.rollouts_frozen
+    );
+    println!(
+        "served {}  shed {}  stolen-slices {}  batch fleet hash 0x{:016x}",
+        rep.served, rep.shed, rep.steals, rep.xr_hash
+    );
+    if rep.violations.is_empty() {
+        println!(
+            "OK: zero fleet-oracle violations across {} campaign(s).",
+            rep.campaigns
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "FAIL: {} of {} campaign(s) violated a fleet oracle:",
+        rep.violating, rep.campaigns
+    );
+    for (schedule, violations) in &rep.violations {
+        eprintln!("-- schedule: {}", schedule.repro());
+        for v in violations {
+            eprintln!("   {v}");
+        }
+    }
+    std::process::exit(1);
 }
 
 fn parse_u64(arg: Option<String>, flag: &str) -> u64 {
@@ -55,6 +103,8 @@ fn main() {
     let mut seed = 1u64;
     let mut do_minimize = false;
     let mut broken = false;
+    let mut fleet = false;
+    let mut shards = 2usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -63,9 +113,18 @@ fn main() {
             "--seed" => seed = parse_u64(args.next(), "--seed"),
             "--minimize" => do_minimize = true,
             "--broken" => broken = true,
+            "--fleet" => fleet = true,
+            "--shards" => shards = parse_u64(args.next(), "--shards") as usize,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    if fleet {
+        if do_minimize || broken {
+            eprintln!("--fleet does not combine with --minimize/--broken");
+            usage();
+        }
+        fleet_main(campaigns, seed, shards);
     }
 
     let mut opts = default_chaos_opts();

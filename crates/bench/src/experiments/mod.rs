@@ -10,6 +10,7 @@ pub mod f1_spectrum;
 pub mod f6_manual_vs_pgo;
 pub mod f9_interyield;
 pub mod fault_matrix;
+pub mod multicore;
 pub mod selfheal;
 pub mod simperf;
 pub mod t11_sampling;
@@ -52,6 +53,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(fault_matrix::FaultMatrix),
         Box::new(selfheal::SelfHeal),
         Box::new(chaos::Chaos),
+        Box::new(multicore::Multicore),
         Box::new(simperf::SimPerf),
         Box::new(verify::Verify),
     ]
@@ -70,7 +72,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let exps = all();
-        assert_eq!(exps.len(), 22);
+        assert_eq!(exps.len(), 23);
         for e in &exps {
             assert!(by_name(e.name()).is_some());
         }

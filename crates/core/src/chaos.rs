@@ -49,6 +49,40 @@ use crate::supervisor::{
 use reach_profile::Profile;
 use reach_sim::{FaultInjector, FaultPlan, Machine, Program, SplitMix64};
 
+/// A chaos configuration the engine refuses to run, caught at
+/// [`run_schedule`] entry instead of hanging or corrupting mid-campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosConfigError {
+    /// The underlying supervisor configuration is degenerate.
+    Supervisor(SupervisorConfigError),
+    /// The schedule arms the runaway-scavenger burst but
+    /// `sup.dual.watchdog` is `None`: a cooperative-free scavenger with
+    /// no watchdog never yields the slice back, so the epoch would spin
+    /// until the unwatched-slice step cap — in practice, a hang.
+    RunawayWithoutWatchdog,
+}
+
+impl From<SupervisorConfigError> for ChaosConfigError {
+    fn from(e: SupervisorConfigError) -> Self {
+        ChaosConfigError::Supervisor(e)
+    }
+}
+
+impl std::fmt::Display for ChaosConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosConfigError::Supervisor(e) => e.fmt(f),
+            ChaosConfigError::RunawayWithoutWatchdog => write!(
+                f,
+                "schedule arms a runaway scavenger but sup.dual.watchdog is None \
+                 (the burst would pin every slice; arm WatchdogOptions)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChaosConfigError {}
+
 /// One randomized fault schedule: which channels are armed and where
 /// the crashes land. A pure value — running it twice produces
 /// byte-identical fault streams and incident logs.
@@ -246,7 +280,11 @@ fn stale_profile_mutator(p: &mut Profile) {
 /// re-pass the lint and (when enabled) symbolic-equivalence gates. The
 /// oracle deliberately re-checks from scratch rather than trusting what
 /// recovery or the swap path concluded.
-fn build_is_trusted(original: &Program, build: &DeployedBuild, sup: &SupervisorOptions) -> bool {
+pub(crate) fn build_is_trusted(
+    original: &Program,
+    build: &DeployedBuild,
+    sup: &SupervisorOptions,
+) -> bool {
     match build.rung {
         Rung::Uninstrumented => build.prog.fingerprint() == original.fingerprint(),
         Rung::FullPgo | Rung::ScavengerOnly => {
@@ -279,7 +317,10 @@ pub fn run_schedule(
     factory: &mut dyn FnMut(&ChaosSchedule) -> ChaosWorld,
     schedule: &ChaosSchedule,
     opts: &ChaosOptions,
-) -> Result<ScheduleRun, SupervisorConfigError> {
+) -> Result<ScheduleRun, ChaosConfigError> {
+    if schedule.runaway && opts.sup.dual.watchdog.is_none() {
+        return Err(ChaosConfigError::RunawayWithoutWatchdog);
+    }
     let mut world = factory(schedule);
     let mut sup = opts.sup.clone();
     if schedule.stale_rebuilds {
@@ -369,7 +410,7 @@ pub fn run_schedule(
                 let rec = recover(
                     &mut journal,
                     &world.original,
-                    &world.machine,
+                    &mut world.machine,
                     &sup,
                     &opts.recover,
                 )?;
@@ -591,7 +632,7 @@ pub fn run_campaigns(
     n: u64,
     seed: u64,
     opts: &ChaosOptions,
-) -> Result<CampaignReport, SupervisorConfigError> {
+) -> Result<CampaignReport, ChaosConfigError> {
     let mut rng = SplitMix64::new(seed ^ 0xC4A0_5EED);
     let mut rep = CampaignReport::default();
     for _ in 0..n {
@@ -627,7 +668,10 @@ pub fn minimize(
     schedule: &ChaosSchedule,
     opts: &ChaosOptions,
     budget: u64,
-) -> Result<(ChaosSchedule, u64), SupervisorConfigError> {
+) -> Result<(ChaosSchedule, u64), ChaosConfigError> {
+    if schedule.runaway && opts.sup.dual.watchdog.is_none() {
+        return Err(ChaosConfigError::RunawayWithoutWatchdog);
+    }
     let mut best = schedule.clone();
     let mut trials = 0u64;
     let clears: [fn(&mut ChaosSchedule); 10] = [
@@ -951,6 +995,33 @@ mod tests {
         let healed = run_schedule(&mut drift_world, &minimal, &fixed).unwrap();
         assert_eq!(healed.violations, Vec::<String>::new());
         assert!(healed.recoveries_degraded >= 1);
+    }
+
+    #[test]
+    fn runaway_schedule_without_watchdog_is_a_typed_error() {
+        // The documented footgun: a runaway arm with no watchdog pins
+        // every scavenger slice until the unwatched-step cap — an
+        // effective hang. The engine must refuse the configuration
+        // up front instead of spinning.
+        let mut opts = chaos_opts();
+        opts.sup.dual.watchdog = None;
+        let schedule = ChaosSchedule {
+            runaway: true,
+            ..ChaosSchedule::quiet(3)
+        };
+        let err = run_schedule(&mut drift_world, &schedule, &opts).unwrap_err();
+        assert_eq!(err, ChaosConfigError::RunawayWithoutWatchdog);
+        // The same guard protects the shrinker's re-runs.
+        let err = minimize(&mut drift_world, &schedule, &opts, 8).unwrap_err();
+        assert_eq!(err, ChaosConfigError::RunawayWithoutWatchdog);
+        // With the watchdog armed the identical schedule is accepted.
+        let run = run_schedule(&mut drift_world, &schedule, &chaos_opts()).unwrap();
+        assert_eq!(run.violations, Vec::<String>::new());
+        // Supervisor-level validation still surfaces, wrapped.
+        let mut bad = chaos_opts();
+        bad.sup.max_rebuild_failures = 0;
+        let err = run_schedule(&mut drift_world, &ChaosSchedule::quiet(1), &bad).unwrap_err();
+        assert!(matches!(err, ChaosConfigError::Supervisor(_)));
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub mod chaos;
 pub mod degrade;
 pub mod dualmode;
 pub mod executor;
+pub mod fleet;
+pub mod fleet_chaos;
 pub mod journal;
 pub mod metrics;
 pub mod pipeline;
@@ -62,8 +64,8 @@ pub mod supervisor;
 pub mod whatif;
 
 pub use chaos::{
-    minimize, random_schedule, run_campaigns, run_schedule, CampaignReport, ChaosOptions,
-    ChaosSchedule, ChaosWorld, ScheduleRun,
+    minimize, random_schedule, run_campaigns, run_schedule, CampaignReport, ChaosConfigError,
+    ChaosOptions, ChaosSchedule, ChaosWorld, ScheduleRun,
 };
 pub use degrade::{
     pgo_pipeline_degrading, scavenger_only_build, DegradeOptions, DegradeReason, DegradedBuild,
@@ -73,6 +75,14 @@ pub use dualmode::{run_dual_mode, DualModeOptions, DualModeReport, WatchdogOptio
 pub use executor::{
     run_interleaved, run_interleaved_multi, InterleaveOptions, InterleaveReport, Job, SwitchMode,
     POISON,
+};
+pub use fleet::{
+    fleet_events_hash, fleet_events_json, run_fleet, shard_seed, Arrival, FleetConfigError,
+    FleetEvent, FleetOptions, FleetReport, FleetWorkload, RolloutOptions, ShardSummary,
+};
+pub use fleet_chaos::{
+    random_fleet_schedule, run_fleet_campaigns, run_fleet_schedule, FleetCampaignReport,
+    FleetChaosError, FleetChaosOptions, FleetChaosSchedule, FleetChaosWorld, FleetScheduleRun,
 };
 pub use journal::{project, Journal, JournalRecord, JournalState, Replay, StoredBuild};
 pub use metrics::{percentile, percentiles, ratio, CycleSummary};

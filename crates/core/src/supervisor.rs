@@ -212,6 +212,10 @@ pub enum Trigger {
     ProbationElapsed,
     /// The process restarted after a crash and [`recover`] ran.
     CrashRecovery,
+    /// A fleet-level rolling re-instrumentation deploy reached this
+    /// shard (the build was pushed by the fleet supervisor, not pulled
+    /// by a local trigger).
+    Rollout,
 }
 
 impl Trigger {
@@ -223,6 +227,7 @@ impl Trigger {
             Trigger::QueueOverflow => "queue-overflow",
             Trigger::ProbationElapsed => "probation-elapsed",
             Trigger::CrashRecovery => "crash-recovery",
+            Trigger::Rollout => "rollout",
         }
     }
 }
@@ -268,7 +273,7 @@ impl std::fmt::Display for SupervisorConfigError {
 impl std::error::Error for SupervisorConfigError {}
 
 /// Rejects degenerate configurations (see [`SupervisorConfigError`]).
-fn validate_options(opts: &SupervisorOptions) -> Result<(), SupervisorConfigError> {
+pub(crate) fn validate_options(opts: &SupervisorOptions) -> Result<(), SupervisorConfigError> {
     if opts.max_rebuild_failures == 0 {
         return Err(SupervisorConfigError::ZeroMaxRebuildFailures);
     }
@@ -738,143 +743,339 @@ fn run_loop(
     mut journal: Option<&mut Journal>,
     resume: Option<ResumeState>,
 ) -> SuperviseExit {
-    let mut cur = initial;
-    let mut estimator = OnlineStalenessEstimator::new(opts.estimator);
-    let mut rng = SplitMix64::new(opts.seed ^ 0x5e1f_4ea1);
-    let mut report = SupervisorReport {
-        incidents: Vec::new(),
-        latencies: Vec::new(),
-        served: 0,
-        shed_jobs: 0,
-        job_faults: 0,
-        swaps: 0,
-        rebuilds: 0,
-        rebuild_failures: 0,
-        final_rung: cur.rung,
-        breaker: BreakerState::Closed,
-        staleness_peak: f64::NAN,
-        staleness_last: f64::NAN,
-        overruns: 0,
-        quarantine_events: 0,
-        readmissions: 0,
-        scav_budget_final: opts.scavengers,
-        last_swap_epoch: None,
-    };
-
-    let mut pending: VecDeque<u64> = VecDeque::new();
-    let mut window: VecDeque<u64> = VecDeque::new();
-    // Volatile loop state; durable pieces come back through `resume`.
-    // The clean-probation streak is *always* fresh: recovery never
-    // credits pre-crash clean epochs toward re-admission.
-    let start_epoch = resume.map_or(0, |r| r.epoch);
-    let mut next_job: u64 = resume.map_or(0, |r| r.next_job);
-    let mut scav_budget = resume.map_or(opts.scavengers, |r| r.scav_budget);
-    let mut clean_streak: u64 = 0;
-    let mut failures: u32 = resume.map_or(0, |r| r.failures);
-    let mut breaker = resume.map_or(BreakerState::Closed, |r| r.breaker);
-    let mut last_swap: Option<u64> = None;
-    report.scav_budget_final = scav_budget;
-
-    // Seals the report and returns the crashed exit; the journal has
-    // already been given its crash semantics by the caller arm.
-    macro_rules! crashed {
-        ($point:expr, $epoch:expr) => {{
-            report.final_rung = cur.rung;
-            report.breaker = breaker;
-            report.rebuild_failures = failures;
-            report.scav_budget_final = scav_budget;
-            report.last_swap_epoch = last_swap;
-            return SuperviseExit::Crashed {
-                point: $point,
-                epoch: $epoch,
-                report,
-            };
-        }};
-    }
-
-    // Consults the crash channel at a non-append loop stage (journaled
-    // mode only) and, when it fires, applies crash semantics to the
-    // store and exits.
-    macro_rules! crash_point {
-        ($code:expr, $point:expr, $epoch:expr) => {
-            if journal.is_some()
-                && machine
-                    .faults
-                    .as_mut()
-                    .is_some_and(|f| f.crash_point($code))
-            {
-                if let Some(j) = journal.as_deref_mut() {
-                    j.crash(machine.faults.as_mut());
-                }
-                crashed!($point, $epoch)
-            }
-        };
-    }
-
-    // Write-ahead append: consults the crash channel *inside* the
-    // append, so a firing crash leaves at most a torn prefix of this
-    // record.
-    macro_rules! jappend {
-        ($rec:expr, $epoch:expr) => {
-            if let Some(j) = journal.as_deref_mut() {
-                let rec = $rec;
-                if machine
-                    .faults
-                    .as_mut()
-                    .is_some_and(|f| f.crash_point(CP_MID_APPEND))
-                {
-                    j.crash_during_append(&rec, machine.faults.as_mut());
-                    crashed!(CrashPoint::MidJournalAppend, $epoch)
-                }
-                j.append(&rec, machine.faults.as_mut());
-            }
-        };
-    }
-
+    let mut el = EpochLoop::new(initial, opts, resume);
     // Fresh journaled runs persist the initial deployment before the
     // first epoch: the artifact atomically, then the deploy record.
     if journal.is_some() && resume.is_none() {
-        let fp = cur.prog.fingerprint();
+        if let Err(point) = el.persist_initial(machine, &mut journal) {
+            let epoch = el.start_epoch();
+            return SuperviseExit::Crashed {
+                point,
+                epoch,
+                report: el.seal(),
+            };
+        }
+    }
+    for epoch in el.start_epoch()..opts.epochs {
+        if let Err(point) = el.step_epoch(machine, workload, original, &mut journal, epoch) {
+            return SuperviseExit::Crashed {
+                point,
+                epoch,
+                report: el.seal(),
+            };
+        }
+    }
+    // Clean shutdown: anything the partial-flush channel held back
+    // reaches the durable image, so a clean journal projects exactly the
+    // live final state (the chaos engine's state-equality oracle).
+    if let Some(j) = journal {
+        j.flush();
+    }
+    SuperviseExit::Completed(el.seal())
+}
+
+/// Write-ahead append: consults the crash channel *inside* the append,
+/// so a firing crash leaves at most a torn prefix of this record.
+fn jappend(
+    machine: &mut Machine,
+    journal: &mut Option<&mut Journal>,
+    rec: JournalRecord,
+) -> Result<(), CrashPoint> {
+    if let Some(j) = journal.as_deref_mut() {
+        if machine
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.crash_point(CP_MID_APPEND))
+        {
+            j.crash_during_append(&rec, machine.faults.as_mut());
+            return Err(CrashPoint::MidJournalAppend);
+        }
+        j.append(&rec, machine.faults.as_mut());
+    }
+    Ok(())
+}
+
+/// Consults the crash channel at a non-append loop stage (journaled mode
+/// only) and, when it fires, applies crash semantics to the store.
+fn crash_gate(
+    machine: &mut Machine,
+    journal: &mut Option<&mut Journal>,
+    code: u64,
+    point: CrashPoint,
+) -> Result<(), CrashPoint> {
+    if journal.is_some() && machine.faults.as_mut().is_some_and(|f| f.crash_point(code)) {
+        if let Some(j) = journal.as_deref_mut() {
+            j.crash(machine.faults.as_mut());
+        }
+        return Err(point);
+    }
+    Ok(())
+}
+
+/// The supervisor's per-epoch state machine, factored out of
+/// [`supervise`] so the fleet layer can interleave N shard loops on N
+/// cores under one fleet clock. [`run_loop`] drives it for the
+/// single-shard entry points; the fleet supervisor steps one instance
+/// per shard and adds routing, rollouts and work-stealing on top.
+///
+/// An `Err(CrashPoint)` from any stepping method means the injected
+/// crash channel fired: the process is dead, the journal has already
+/// been given its crash semantics, and the caller must stop stepping and
+/// go through [`recover`].
+pub(crate) struct EpochLoop {
+    cur: DeployedBuild,
+    estimator: OnlineStalenessEstimator,
+    rng: SplitMix64,
+    report: SupervisorReport,
+    pending: VecDeque<u64>,
+    window: VecDeque<u64>,
+    // Volatile loop state; durable pieces come back through `resume`.
+    // The clean-probation streak is *always* fresh: recovery never
+    // credits pre-crash clean epochs toward re-admission.
+    start_epoch: u64,
+    next_job: u64,
+    scav_budget: usize,
+    clean_streak: u64,
+    failures: u32,
+    breaker: BreakerState,
+    last_swap: Option<u64>,
+    opts: SupervisorOptions,
+    /// Extra scavenger slots donated by the fleet's work-stealing (idle
+    /// capacity from drained/down shards). Volatile and never journaled:
+    /// a restart resets it, and the single-shard entry points leave it 0.
+    scav_bonus: usize,
+}
+
+impl EpochLoop {
+    pub(crate) fn new(
+        initial: DeployedBuild,
+        opts: &SupervisorOptions,
+        resume: Option<ResumeState>,
+    ) -> Self {
+        let scav_budget = resume.map_or(opts.scavengers, |r| r.scav_budget);
+        let report = SupervisorReport {
+            incidents: Vec::new(),
+            latencies: Vec::new(),
+            served: 0,
+            shed_jobs: 0,
+            job_faults: 0,
+            swaps: 0,
+            rebuilds: 0,
+            rebuild_failures: 0,
+            final_rung: initial.rung,
+            breaker: BreakerState::Closed,
+            staleness_peak: f64::NAN,
+            staleness_last: f64::NAN,
+            overruns: 0,
+            quarantine_events: 0,
+            readmissions: 0,
+            scav_budget_final: scav_budget,
+            last_swap_epoch: None,
+        };
+        EpochLoop {
+            cur: initial,
+            estimator: OnlineStalenessEstimator::new(opts.estimator),
+            rng: SplitMix64::new(opts.seed ^ 0x5e1f_4ea1),
+            report,
+            pending: VecDeque::new(),
+            window: VecDeque::new(),
+            start_epoch: resume.map_or(0, |r| r.epoch),
+            next_job: resume.map_or(0, |r| r.next_job),
+            scav_budget,
+            clean_streak: 0,
+            failures: resume.map_or(0, |r| r.failures),
+            breaker: resume.map_or(BreakerState::Closed, |r| r.breaker),
+            last_swap: None,
+            opts: opts.clone(),
+            scav_bonus: 0,
+        }
+    }
+
+    /// First epoch this loop serves (0, or the resume point).
+    pub(crate) fn start_epoch(&self) -> u64 {
+        self.start_epoch
+    }
+
+    /// The build currently serving traffic.
+    pub(crate) fn deployed(&self) -> &DeployedBuild {
+        &self.cur
+    }
+
+    /// Current circuit-breaker state.
+    pub(crate) fn breaker(&self) -> BreakerState {
+        self.breaker
+    }
+
+    /// Jobs admitted but not yet served.
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Next global job number this loop would admit.
+    pub(crate) fn next_job(&self) -> u64 {
+        self.next_job
+    }
+
+    /// Current (possibly shed) scavenger budget, excluding any bonus.
+    pub(crate) fn scav_budget(&self) -> usize {
+        self.scav_budget
+    }
+
+    /// The in-flight report (counters are live; the sealed fields —
+    /// final rung, breaker, failures — are only valid after [`seal`]).
+    pub(crate) fn report(&self) -> &SupervisorReport {
+        &self.report
+    }
+
+    /// Sets the work-stealing bonus applied to the next epoch's
+    /// scavenger pool.
+    pub(crate) fn set_scav_bonus(&mut self, bonus: usize) {
+        self.scav_bonus = bonus;
+    }
+
+    /// Persists the initial deployment (artifact atomically, then the
+    /// write-ahead deploy record) — fresh journaled runs only.
+    pub(crate) fn persist_initial(
+        &mut self,
+        machine: &mut Machine,
+        journal: &mut Option<&mut Journal>,
+    ) -> Result<(), CrashPoint> {
+        let fp = self.cur.prog.fingerprint();
         if let Some(j) = journal.as_deref_mut() {
             j.store_build(
                 fp,
                 StoredBuild {
-                    prog: cur.prog.clone(),
-                    origin: cur.origin.clone(),
-                    rung: cur.rung,
-                    profile: cur.profile.clone(),
+                    prog: self.cur.prog.clone(),
+                    origin: self.cur.origin.clone(),
+                    rung: self.cur.rung,
+                    profile: self.cur.profile.clone(),
                 },
             );
         }
-        jappend!(
+        jappend(
+            machine,
+            journal,
             JournalRecord::Deploy {
-                epoch: start_epoch,
-                rung: cur.rung,
+                epoch: self.start_epoch,
+                rung: self.cur.rung,
                 fingerprint: fp,
             },
-            start_epoch
-        );
+        )
     }
 
-    for epoch in start_epoch..opts.epochs {
-        jappend!(JournalRecord::EpochAdvance { epoch, next_job }, epoch);
+    /// Deploys a fleet-pushed build at this epoch boundary: journals the
+    /// artifact and deploy record, swaps, drops the superblock cache,
+    /// and resets the estimator exactly like a locally-triggered swap.
+    /// The breaker closes — a successful rollout is fresh evidence the
+    /// build pipeline works.
+    pub(crate) fn deploy_rollout(
+        &mut self,
+        machine: &mut Machine,
+        journal: &mut Option<&mut Journal>,
+        build: DeployedBuild,
+        epoch: u64,
+    ) -> Result<(), CrashPoint> {
+        let fp = build.prog.fingerprint();
+        if let Some(j) = journal.as_deref_mut() {
+            j.store_build(
+                fp,
+                StoredBuild {
+                    prog: build.prog.clone(),
+                    origin: build.origin.clone(),
+                    rung: build.rung,
+                    profile: build.profile.clone(),
+                },
+            );
+        }
+        jappend(
+            machine,
+            journal,
+            JournalRecord::Deploy {
+                epoch,
+                rung: build.rung,
+                fingerprint: fp,
+            },
+        )?;
+        crash_gate(machine, journal, CP_MID_SWAP, CrashPoint::MidSwap)?;
+        self.cur = build;
+        // Same rule as every deploy site: the superblock cache is keyed
+        // by program identity and must not survive a code-map change.
+        machine.invalidate_blocks();
+        self.failures = 0;
+        self.breaker = BreakerState::Closed;
+        jappend(
+            machine,
+            journal,
+            JournalRecord::Breaker {
+                epoch,
+                state: self.breaker,
+                failures: self.failures,
+            },
+        )?;
+        self.last_swap = Some(epoch);
+        self.report.swaps += 1;
+        self.estimator.reset();
+        self.window.clear();
+        self.report.incidents.push(Incident {
+            epoch,
+            trigger: Trigger::Rollout,
+            evidence: vec![("epoch", Ev::U(epoch))],
+            action: Action::Swap {
+                rung: self.cur.rung,
+            },
+            outcome: Outcome::Deployed {
+                rung: self.cur.rung,
+            },
+        });
+        Ok(())
+    }
+
+    /// Seals the final-state fields into the report and returns it.
+    pub(crate) fn seal(mut self) -> SupervisorReport {
+        self.report.final_rung = self.cur.rung;
+        self.report.breaker = self.breaker;
+        self.report.rebuild_failures = self.failures;
+        self.report.scav_budget_final = self.scav_budget;
+        self.report.last_swap_epoch = self.last_swap;
+        self.report
+    }
+
+    /// Serves one epoch: admission/shed → dual-mode batch with the
+    /// in-situ sampler armed → staleness diagnosis → rebuild / backoff /
+    /// breaker → SLO shedding and probation.
+    pub(crate) fn step_epoch(
+        &mut self,
+        machine: &mut Machine,
+        workload: &mut dyn ServiceWorkload,
+        original: &Program,
+        journal: &mut Option<&mut Journal>,
+        epoch: u64,
+    ) -> Result<(), CrashPoint> {
+        jappend(
+            machine,
+            journal,
+            JournalRecord::EpochAdvance {
+                epoch,
+                next_job: self.next_job,
+            },
+        )?;
         // --- Admission: arrivals enqueue; supervised runs shed the
         // backlog beyond the queue bound (newest first — they would wait
         // longest anyway).
         for _ in 0..workload.arrivals(epoch) {
-            pending.push_back(next_job);
-            next_job += 1;
+            self.pending.push_back(self.next_job);
+            self.next_job += 1;
         }
-        if opts.supervise && pending.len() > opts.queue_bound {
-            let dropped = (pending.len() - opts.queue_bound) as u64;
-            pending.truncate(opts.queue_bound);
-            report.shed_jobs += dropped;
-            report.incidents.push(Incident {
+        if self.opts.supervise && self.pending.len() > self.opts.queue_bound {
+            let dropped = (self.pending.len() - self.opts.queue_bound) as u64;
+            self.pending.truncate(self.opts.queue_bound);
+            self.report.shed_jobs += dropped;
+            self.report.incidents.push(Incident {
                 epoch,
                 trigger: Trigger::QueueOverflow,
                 evidence: vec![
-                    ("queue_len", Ev::U(opts.queue_bound as u64 + dropped)),
-                    ("queue_bound", Ev::U(opts.queue_bound as u64)),
+                    ("queue_len", Ev::U(self.opts.queue_bound as u64 + dropped)),
+                    ("queue_bound", Ev::U(self.opts.queue_bound as u64)),
                 ],
                 action: Action::ShedAdmissions { dropped },
                 outcome: Outcome::Contained,
@@ -886,90 +1087,91 @@ fn run_loop(
         // *actions* differ, so the experiment compares decisions, not
         // measurement quality.
         let scav_override = workload.scavenger_program(epoch);
-        let batch = pending.len().min(opts.service_per_epoch);
+        let batch = self.pending.len().min(self.opts.service_per_epoch);
         let samplers_before = machine.samplers.len();
         let sampler = machine.add_sampler(PebsConfig {
             event: HwEvent::LoadL2Miss,
-            period: opts.insitu_period.max(1),
+            period: self.opts.insitu_period.max(1),
             skid: 0,
             buffer_capacity: 65_536,
         });
         let mut epoch_overruns: u64 = 0;
         for _ in 0..batch {
-            let job = pending.pop_front().expect("batch <= pending");
+            let job = self.pending.pop_front().expect("batch <= pending");
             let mut primary = workload.primary_context(job);
-            let mut scavs: Vec<Context> = (0..scav_budget)
+            let mut scavs: Vec<Context> = (0..self.scav_budget + self.scav_bonus)
                 .map(|slot| workload.scavenger_context(epoch, job, slot))
                 .collect();
-            let scav_prog = scav_override.as_ref().unwrap_or(&cur.prog);
+            let scav_prog = scav_override.as_ref().unwrap_or(&self.cur.prog);
             match run_dual_mode(
                 machine,
-                &cur.prog,
+                &self.cur.prog,
                 &mut primary,
                 scav_prog,
                 &mut scavs,
-                &opts.dual,
+                &self.opts.dual,
             ) {
                 Ok(r) => {
-                    report.served += 1;
-                    report.overruns += r.overruns;
-                    report.quarantine_events += r.quarantined.len() as u64;
-                    report.readmissions += r.readmitted;
+                    self.report.served += 1;
+                    self.report.overruns += r.overruns;
+                    self.report.quarantine_events += r.quarantined.len() as u64;
+                    self.report.readmissions += r.readmitted;
                     epoch_overruns += r.overruns;
                     if let Some(lat) = r.primary_latency {
-                        report.latencies.push((epoch, lat));
-                        window.push_back(lat);
-                        while window.len() > opts.slo_window {
-                            window.pop_front();
+                        self.report.latencies.push((epoch, lat));
+                        self.window.push_back(lat);
+                        while self.window.len() > self.opts.slo_window {
+                            self.window.pop_front();
                         }
                     } else {
-                        report.job_faults += 1;
+                        self.report.job_faults += 1;
                     }
                 }
-                Err(_) => report.job_faults += 1,
+                Err(_) => self.report.job_faults += 1,
             }
         }
         let samples = machine.take_samples(sampler);
         machine.samplers.truncate(samplers_before);
         for s in &samples {
-            if let Some(&Some(opc)) = cur.origin.get(s.pc) {
-                estimator.observe(opc);
+            if let Some(&Some(opc)) = self.cur.origin.get(s.pc) {
+                self.estimator.observe(opc);
             }
         }
 
         // --- Diagnose.
-        let staleness = match &cur.profile {
-            Some(p) => estimator.staleness_vs(p),
+        let staleness = match &self.cur.profile {
+            Some(p) => self.estimator.staleness_vs(p),
             None => f64::NAN,
         };
         if staleness.is_finite() {
-            report.staleness_last = staleness;
-            if report.staleness_peak.is_nan() || staleness > report.staleness_peak {
-                report.staleness_peak = staleness;
+            self.report.staleness_last = staleness;
+            if self.report.staleness_peak.is_nan() || staleness > self.report.staleness_peak {
+                self.report.staleness_peak = staleness;
             }
         }
-        if !opts.supervise {
-            continue;
+        if !self.opts.supervise {
+            return Ok(());
         }
 
-        let window_p99 = if window.len() >= opts.slo_window.max(1) {
-            let v: Vec<u64> = window.iter().copied().collect();
+        let window_p99 = if self.window.len() >= self.opts.slo_window.max(1) {
+            let v: Vec<u64> = self.window.iter().copied().collect();
             Some(percentile(&v, 0.99))
         } else {
             None
         };
-        let slo_violated = window_p99.is_some_and(|p| p > opts.slo_p99_cycles);
+        let slo_violated = window_p99.is_some_and(|p| p > self.opts.slo_p99_cycles);
 
         // Rebuild triggers (staleness first: repairing the build beats
         // shedding capacity when both fire).
-        let stale_trip = staleness.is_finite() && staleness >= opts.staleness_threshold;
-        let overrun_trip = epoch_overruns >= opts.overrun_trip;
-        let rebuild_allowed = match breaker {
+        let stale_trip = staleness.is_finite() && staleness >= self.opts.staleness_threshold;
+        let overrun_trip = epoch_overruns >= self.opts.overrun_trip;
+        let rebuild_allowed = match self.breaker {
             BreakerState::Open => false,
             BreakerState::Backoff { until_epoch } => epoch >= until_epoch,
             BreakerState::Closed => true,
-        } && last_swap
-            .is_none_or(|s| epoch.saturating_sub(s) >= opts.cooldown_epochs);
+        } && self
+            .last_swap
+            .is_none_or(|s| epoch.saturating_sub(s) >= self.opts.cooldown_epochs);
         if rebuild_allowed && (stale_trip || overrun_trip) {
             let trigger = if stale_trip {
                 Trigger::Staleness
@@ -979,16 +1181,16 @@ fn run_loop(
             let evidence = vec![
                 ("staleness", Ev::F(staleness)),
                 ("epoch_overruns", Ev::U(epoch_overruns)),
-                ("retained_samples", Ev::U(estimator.retained())),
+                ("retained_samples", Ev::U(self.estimator.retained())),
             ];
-            report.rebuilds += 1;
-            crash_point!(CP_MID_REBUILD, CrashPoint::MidRebuild, epoch);
-            match attempt_rebuild(machine, workload, original, opts, journal.is_some()) {
+            self.report.rebuilds += 1;
+            crash_gate(machine, journal, CP_MID_REBUILD, CrashPoint::MidRebuild)?;
+            match attempt_rebuild(machine, workload, original, &self.opts, journal.is_some()) {
                 Rebuild::Crashed => {
                     if let Some(j) = journal.as_deref_mut() {
                         j.crash(machine.faults.as_mut());
                     }
-                    crashed!(CrashPoint::BetweenGates, epoch)
+                    return Err(CrashPoint::BetweenGates);
                 }
                 Rebuild::Swapped(b) => {
                     let b = *b;
@@ -1004,49 +1206,55 @@ fn run_loop(
                             },
                         );
                     }
-                    jappend!(
+                    jappend(
+                        machine,
+                        journal,
                         JournalRecord::Deploy {
                             epoch,
                             rung: b.rung,
                             fingerprint: fp,
                         },
-                        epoch
-                    );
-                    crash_point!(CP_MID_SWAP, CrashPoint::MidSwap, epoch);
-                    cur = b;
+                    )?;
+                    crash_gate(machine, journal, CP_MID_SWAP, CrashPoint::MidSwap)?;
+                    self.cur = b;
                     // The superblock cache is keyed by program identity,
                     // not content: every deployment change must drop it
                     // or the engine could keep serving blocks compiled
                     // from the retired build.
                     machine.invalidate_blocks();
-                    failures = 0;
-                    breaker = BreakerState::Closed;
-                    jappend!(
+                    self.failures = 0;
+                    self.breaker = BreakerState::Closed;
+                    jappend(
+                        machine,
+                        journal,
                         JournalRecord::Breaker {
                             epoch,
-                            state: breaker,
-                            failures,
+                            state: self.breaker,
+                            failures: self.failures,
                         },
-                        epoch
-                    );
-                    last_swap = Some(epoch);
-                    report.swaps += 1;
-                    estimator.reset();
-                    window.clear();
-                    report.incidents.push(Incident {
+                    )?;
+                    self.last_swap = Some(epoch);
+                    self.report.swaps += 1;
+                    self.estimator.reset();
+                    self.window.clear();
+                    self.report.incidents.push(Incident {
                         epoch,
                         trigger,
                         evidence,
-                        action: Action::Swap { rung: cur.rung },
-                        outcome: Outcome::Deployed { rung: cur.rung },
+                        action: Action::Swap {
+                            rung: self.cur.rung,
+                        },
+                        outcome: Outcome::Deployed {
+                            rung: self.cur.rung,
+                        },
                     });
                 }
                 Rebuild::Failed { reason, fallback } => {
-                    failures += 1;
-                    if failures >= opts.max_rebuild_failures {
+                    self.failures += 1;
+                    if self.failures >= self.opts.max_rebuild_failures {
                         let fb = fallback
                             .map(|b| *b)
-                            .unwrap_or_else(|| fallback_build(original, machine, opts));
+                            .unwrap_or_else(|| fallback_build(original, machine, &self.opts));
                         let fp = fb.prog.fingerprint();
                         if let Some(j) = journal.as_deref_mut() {
                             j.store_build(
@@ -1059,62 +1267,70 @@ fn run_loop(
                                 },
                             );
                         }
-                        jappend!(
+                        jappend(
+                            machine,
+                            journal,
                             JournalRecord::Deploy {
                                 epoch,
                                 rung: fb.rung,
                                 fingerprint: fp,
                             },
-                            epoch
-                        );
-                        crash_point!(CP_MID_SWAP, CrashPoint::MidSwap, epoch);
-                        breaker = BreakerState::Open;
-                        cur = fb;
+                        )?;
+                        crash_gate(machine, journal, CP_MID_SWAP, CrashPoint::MidSwap)?;
+                        self.breaker = BreakerState::Open;
+                        self.cur = fb;
                         // Same rule as the swap path above: a fallback
                         // deployment is still a code-map change.
                         machine.invalidate_blocks();
-                        jappend!(
+                        jappend(
+                            machine,
+                            journal,
                             JournalRecord::Breaker {
                                 epoch,
-                                state: breaker,
-                                failures,
+                                state: self.breaker,
+                                failures: self.failures,
                             },
-                            epoch
-                        );
-                        last_swap = Some(epoch);
-                        report.swaps += 1;
-                        estimator.reset();
-                        window.clear();
-                        report.incidents.push(Incident {
+                        )?;
+                        self.last_swap = Some(epoch);
+                        self.report.swaps += 1;
+                        self.estimator.reset();
+                        self.window.clear();
+                        self.report.incidents.push(Incident {
                             epoch,
                             trigger,
                             evidence,
-                            action: Action::BreakerOpen { rung: cur.rung },
-                            outcome: Outcome::Deployed { rung: cur.rung },
+                            action: Action::BreakerOpen {
+                                rung: self.cur.rung,
+                            },
+                            outcome: Outcome::Deployed {
+                                rung: self.cur.rung,
+                            },
                         });
                     } else {
-                        let shift = (failures - 1).min(31);
-                        let delay = opts
+                        let shift = (self.failures - 1).min(31);
+                        let delay = self
+                            .opts
                             .backoff_base_epochs
                             .saturating_mul(1u64 << shift)
-                            .min(opts.backoff_max_epochs);
-                        let jitter = rng.next_below(opts.backoff_base_epochs + 1);
+                            .min(self.opts.backoff_max_epochs);
+                        let jitter = self.rng.next_below(self.opts.backoff_base_epochs + 1);
                         let until_epoch = epoch + 1 + delay + jitter;
-                        breaker = BreakerState::Backoff { until_epoch };
-                        jappend!(
+                        self.breaker = BreakerState::Backoff { until_epoch };
+                        jappend(
+                            machine,
+                            journal,
                             JournalRecord::Breaker {
                                 epoch,
-                                state: breaker,
-                                failures,
+                                state: self.breaker,
+                                failures: self.failures,
                             },
-                            epoch
-                        );
-                        report.incidents.push(Incident {
+                        )?;
+                        self.report.incidents.push(Incident {
                             epoch,
                             trigger,
                             evidence,
                             action: Action::Backoff {
-                                failures,
+                                failures: self.failures,
                                 until_epoch,
                             },
                             outcome: Outcome::RebuildFailed { reason },
@@ -1122,75 +1338,67 @@ fn run_loop(
                     }
                 }
             }
-        } else if slo_violated && scav_budget > opts.min_scavengers {
+        } else if slo_violated && self.scav_budget > self.opts.min_scavengers {
             // Overload containment: halve the scavenger pool toward the
             // floor. Evidence is the window p99 that tripped.
-            let from = scav_budget;
-            let to = (scav_budget / 2).max(opts.min_scavengers);
-            scav_budget = to;
-            clean_streak = 0;
-            window.clear();
-            jappend!(
+            let from = self.scav_budget;
+            let to = (self.scav_budget / 2).max(self.opts.min_scavengers);
+            self.scav_budget = to;
+            self.clean_streak = 0;
+            self.window.clear();
+            jappend(
+                machine,
+                journal,
                 JournalRecord::ScavBudget {
                     epoch,
-                    budget: scav_budget as u64,
-                    clean_streak,
+                    budget: self.scav_budget as u64,
+                    clean_streak: self.clean_streak,
                 },
-                epoch
-            );
-            report.incidents.push(Incident {
+            )?;
+            self.report.incidents.push(Incident {
                 epoch,
                 trigger: Trigger::SloViolation,
                 evidence: vec![
                     ("window_p99", Ev::U(window_p99.unwrap_or(0))),
-                    ("slo_p99", Ev::U(opts.slo_p99_cycles)),
+                    ("slo_p99", Ev::U(self.opts.slo_p99_cycles)),
                     ("epoch_overruns", Ev::U(epoch_overruns)),
                 ],
                 action: Action::ShedScavengers { from, to },
                 outcome: Outcome::Contained,
             });
-        } else if scav_budget < opts.scavengers && !slo_violated && epoch_overruns == 0 {
+        } else if self.scav_budget < self.opts.scavengers && !slo_violated && epoch_overruns == 0 {
             // Probation: a clean streak earns one scavenger back.
-            clean_streak += 1;
-            if clean_streak >= opts.probation_epochs {
-                scav_budget += 1;
-                clean_streak = 0;
-                jappend!(
+            self.clean_streak += 1;
+            if self.clean_streak >= self.opts.probation_epochs {
+                self.scav_budget += 1;
+                self.clean_streak = 0;
+                jappend(
+                    machine,
+                    journal,
                     JournalRecord::ScavBudget {
                         epoch,
-                        budget: scav_budget as u64,
-                        clean_streak,
+                        budget: self.scav_budget as u64,
+                        clean_streak: self.clean_streak,
                     },
-                    epoch
-                );
-                report.incidents.push(Incident {
+                )?;
+                self.report.incidents.push(Incident {
                     epoch,
                     trigger: Trigger::ProbationElapsed,
                     evidence: vec![
-                        ("clean_epochs", Ev::U(opts.probation_epochs)),
+                        ("clean_epochs", Ev::U(self.opts.probation_epochs)),
                         ("window_p99", Ev::U(window_p99.unwrap_or(0))),
                     ],
-                    action: Action::RestoreScavenger { to: scav_budget },
+                    action: Action::RestoreScavenger {
+                        to: self.scav_budget,
+                    },
                     outcome: Outcome::Contained,
                 });
             }
         } else if slo_violated || epoch_overruns > 0 {
-            clean_streak = 0;
+            self.clean_streak = 0;
         }
+        Ok(())
     }
-
-    // Clean shutdown: anything the partial-flush channel held back
-    // reaches the durable image, so a clean journal projects exactly the
-    // live final state (the chaos engine's state-equality oracle).
-    if let Some(j) = journal {
-        j.flush();
-    }
-    report.final_rung = cur.rung;
-    report.breaker = breaker;
-    report.rebuild_failures = failures;
-    report.scav_budget_final = scav_budget;
-    report.last_swap_epoch = last_swap;
-    SuperviseExit::Completed(report)
 }
 
 /// One rebuild attempt: ladder, fault hook, swap-time lint gate.
@@ -1322,11 +1530,18 @@ pub struct Recovery {
 pub fn recover(
     journal: &mut Journal,
     original: &Program,
-    machine: &Machine,
+    machine: &mut Machine,
     opts: &SupervisorOptions,
     ropts: &RecoverOptions,
 ) -> Result<Recovery, SupervisorConfigError> {
     validate_options(opts)?;
+    // A restart is a deployment boundary like any other: the dead
+    // process's JIT state is gone, and the recovered (possibly fallback)
+    // build must never be served through superblocks compiled from
+    // whatever was running before the crash. The cache is keyed by
+    // program identity, so stale entries would otherwise survive here —
+    // the one deploy site the hot-swap paths don't cover.
+    machine.invalidate_blocks();
     let rep = journal.repair();
     let st = project(&rep.records);
     let resume = ResumeState {
@@ -1944,7 +2159,7 @@ mod tests {
             assert_eq!(got, want);
             // recover() applies the same validation.
             let mut j = Journal::new();
-            let got = recover(&mut j, &orig, &m, &opts, &RecoverOptions::default())
+            let got = recover(&mut j, &orig, &mut m, &opts, &RecoverOptions::default())
                 .expect_err("degenerate config accepted by recover");
             assert_eq!(got, want);
         };
@@ -1993,6 +2208,69 @@ mod tests {
     }
 
     #[test]
+    fn recovery_invalidates_warmed_superblock_cache() {
+        use reach_sim::{FaultInjector, FaultPlan};
+        let mut m = Machine::new(MachineConfig::default());
+        let mut svc = ZipfService::new(&mut m, 0.0, 3.0);
+        let orig = svc.prog.clone();
+        let init = initial_build(&mut m, &svc, &orig);
+        let opts = drift_opts();
+
+        let mut journal = Journal::new();
+        m.faults = Some(FaultInjector::new(FaultPlan::none(1).with_crash_at(5)));
+        let exit = supervise_journaled(
+            &mut m,
+            &mut svc,
+            &orig,
+            init.clone(),
+            &opts,
+            &mut journal,
+            None,
+        )
+        .unwrap();
+        assert!(matches!(exit, SuperviseExit::Crashed { .. }));
+        m.faults = None;
+
+        // Superblocks compiled before the restart: in the simulation the
+        // Machine persists across the crash, so without an explicit
+        // invalidation at the recovery deploy site these entries — keyed
+        // by the identity of whatever program warmed them — would
+        // survive into the recovered segment.
+        let mut wb = ProgramBuilder::new("warmup");
+        wb.imm(Reg(1), 64).imm(Reg(2), 1);
+        let top = wb.label();
+        wb.bind(top);
+        wb.alu(AluOp::Sub, Reg(1), Reg(1), Reg(2), 1);
+        wb.branch(Cond::Nez, Reg(1), top);
+        wb.halt();
+        let warm_prog = wb.finish().unwrap();
+        let mut warm = Context::new(7_000);
+        m.run_to_completion(&warm_prog, &mut warm, 1 << 20).unwrap();
+        assert!(m.block_cache.cached_blocks() > 0, "warmup compiled nothing");
+        let inv_before = m.block_cache.stats.invalidations;
+
+        let rec = recover(
+            &mut journal,
+            &orig,
+            &mut m,
+            &opts,
+            &RecoverOptions::default(),
+        )
+        .unwrap();
+        assert!(!rec.degraded, "{:?}", rec.incidents);
+        assert_eq!(
+            m.block_cache.stats.invalidations,
+            inv_before + 1,
+            "recovery is a deploy site and must invalidate the superblock cache"
+        );
+        assert_eq!(
+            m.block_cache.cached_blocks(),
+            0,
+            "pre-crash blocks survived recovery"
+        );
+    }
+
+    #[test]
     fn journaled_run_crashes_then_recovers_and_resumes_to_completion() {
         use reach_sim::{FaultInjector, FaultPlan};
         let mut m = Machine::new(MachineConfig::default());
@@ -2019,7 +2297,14 @@ mod tests {
             panic!("crash channel did not fire");
         };
 
-        let rec = recover(&mut journal, &orig, &m, &opts, &RecoverOptions::default()).unwrap();
+        let rec = recover(
+            &mut journal,
+            &orig,
+            &mut m,
+            &opts,
+            &RecoverOptions::default(),
+        )
+        .unwrap();
         assert!(!rec.degraded, "{:?}", rec.incidents);
         assert_eq!(rec.build.rung, Rung::FullPgo);
         assert!(rec.resume.epoch <= epoch + 1);
@@ -2078,7 +2363,14 @@ mod tests {
         // Snapshot before recovering: a degraded recovery re-points the
         // journal at its fallback deployment.
         let mut j2 = journal.clone();
-        let rec = recover(&mut journal, &orig, &m, &opts, &RecoverOptions::default()).unwrap();
+        let rec = recover(
+            &mut journal,
+            &orig,
+            &mut m,
+            &opts,
+            &RecoverOptions::default(),
+        )
+        .unwrap();
         assert!(rec.degraded);
         assert_ne!(rec.build.rung, Rung::FullPgo);
         assert!(matches!(
@@ -2095,7 +2387,7 @@ mod tests {
         let broken = recover(
             &mut j2,
             &orig,
-            &m,
+            &mut m,
             &opts,
             &RecoverOptions { revalidate: false },
         )

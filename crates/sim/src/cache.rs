@@ -283,6 +283,21 @@ impl Hierarchy {
         }
     }
 
+    /// Re-applies the per-level service latencies from `cfg` without
+    /// touching cache contents, statistics, or in-flight fills. The
+    /// multi-core model uses this to impose shared-L3/DRAM contention
+    /// penalties at epoch boundaries: geometry never changes, only the
+    /// cost of an L3 hit and a memory fill. Fills already in flight keep
+    /// the completion cycle they were issued with.
+    pub fn set_latencies(&mut self, cfg: &MachineConfig) {
+        self.latencies = [
+            cfg.l1.hit_latency,
+            cfg.l2.hit_latency,
+            cfg.l3.hit_latency,
+            cfg.mem_latency,
+        ];
+    }
+
     /// The line address (tag+index, i.e. byte address >> line bits) for a
     /// byte address.
     #[inline]

@@ -55,6 +55,7 @@ pub mod isa;
 pub mod lbr;
 pub mod machine;
 pub mod mem;
+pub mod multicore;
 pub mod pebs;
 pub mod rng;
 pub mod smt;
@@ -93,6 +94,7 @@ pub use isa::{AluOp, Cond, Inst, Program, ProgramBuilder, ProgramError, Reg, Yie
 pub use lbr::{BranchRecord, Lbr, StraightRun};
 pub use machine::{ExecError, Exit, Machine, SwitchKind};
 pub use mem::{MemError, Memory};
+pub use multicore::{MultiCore, MultiCoreConfig, UncoreStatus};
 pub use pebs::{HwEvent, PebsConfig, PebsSampler, Sample};
 pub use rng::{SplitMix64, Zipf};
 pub use smt::{run_smt, SmtReport};

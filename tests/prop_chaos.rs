@@ -16,8 +16,8 @@ use common::{gen_program, machine_for, GenProgram, BASE, RB};
 use proptest::prelude::*;
 use reach_core::{
     pgo_pipeline_degrading, random_schedule, run_schedule, supervise_journaled, ChaosOptions,
-    ChaosSchedule, ChaosWorld, DegradeOptions, DeployedBuild, Journal, ServiceWorkload,
-    SuperviseExit, SupervisorOptions,
+    ChaosSchedule, ChaosWorld, DegradeOptions, DeployedBuild, DualModeOptions, Journal,
+    ServiceWorkload, SuperviseExit, SupervisorOptions, WatchdogOptions,
 };
 use reach_profile::{OnlineEstimatorOptions, Periods};
 use reach_sim::{Context, FaultInjector, FaultPlan, SplitMix64};
@@ -88,6 +88,18 @@ fn opts() -> ChaosOptions {
         staleness_threshold: 2.0,
         seed: 77,
         degrade: degrade(),
+        // Random schedules may arm the runaway-scavenger class, and the
+        // engine (rightly) refuses runaways without a bounded slice, so
+        // the watchdog must be armed.
+        dual: DualModeOptions {
+            watchdog: Some(WatchdogOptions {
+                slice_steps: 2_000,
+                overrun_cycles: 500,
+                max_overruns: u32::MAX,
+                ..WatchdogOptions::default()
+            }),
+            ..DualModeOptions::default()
+        },
         ..SupervisorOptions::default()
     })
 }

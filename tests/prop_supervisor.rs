@@ -331,8 +331,14 @@ fn recovery_never_readmits_a_shed_scavenger_early() {
         None,
     );
 
-    let rec = recover(&mut journal, &orig, &m, &opts, &RecoverOptions::default())
-        .expect("validated config");
+    let rec = recover(
+        &mut journal,
+        &orig,
+        &mut m,
+        &opts,
+        &RecoverOptions::default(),
+    )
+    .expect("validated config");
     assert!(!rec.degraded, "healthy artifact must re-validate");
     assert_eq!(rec.resume.epoch, 4, "resume after last durable epoch");
     assert_eq!(
